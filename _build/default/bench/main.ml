@@ -1,0 +1,174 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   and micro-benchmarks the PageMaster transformation (the low-order
+   polynomial-time claim) and the compiler.
+
+   Usage:  dune exec bench/main.exe            (everything)
+           dune exec bench/main.exe -- fig8    (Fig. 8 only)
+           dune exec bench/main.exe -- fig9    (Fig. 9 only)
+           dune exec bench/main.exe -- micro   (bechamel micro-benchmarks) *)
+
+open Cgra_core
+
+let line = String.make 78 '='
+
+let section title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ----- Fig. 8: compile-time constraint cost ----- *)
+
+let run_fig8 () =
+  section "Figure 8 - performance cost of the paging constraints (100 * II_b / II_c)";
+  List.iter
+    (fun size ->
+      List.iter
+        (fun f ->
+          print_newline ();
+          print_endline (Experiments.render_fig8 f))
+        (Experiments.fig8_all ~size ()))
+    Experiments.cgra_sizes
+
+(* ----- Fig. 9: multithreading improvement ----- *)
+
+let run_fig9 ~replicates () =
+  section
+    (Printf.sprintf
+       "Figure 9 - throughput improvement of multithreading (mean of %d workloads)"
+       replicates);
+  List.iter
+    (fun size ->
+      List.iter
+        (fun f ->
+          print_newline ();
+          print_endline (Experiments.render_fig9 f))
+        (Experiments.fig9_all ~replicates ~size ()))
+    Experiments.cgra_sizes
+
+(* ----- bechamel micro-benchmarks ----- *)
+
+let stage = Bechamel.Staged.stage
+
+let transform_tests () =
+  (* the PageMaster fold on real kernel mappings *)
+  let arch = Option.get (Cgra_arch.Cgra.standard ~size:8 ~page_pes:4) in
+  let mapping name =
+    match
+      Cgra_mapper.Scheduler.map Cgra_mapper.Scheduler.Paged arch
+        (Cgra_kernels.Kernels.find_exn name).graph
+    with
+    | Ok m -> m
+    | Error e -> failwith e
+  in
+  let sobel = mapping "sobel" in
+  let swim = mapping "swim" in
+  [
+    Bechamel.Test.make ~name:"fold sobel 8x8 to 1 page"
+      (stage (fun () -> Result.get_ok (Transform.fold ~target_pages:1 sobel)));
+    Bechamel.Test.make ~name:"fold swim 8x8 to 2 pages"
+      (stage (fun () -> Result.get_ok (Transform.fold ~target_pages:2 swim)));
+  ]
+
+let greedy_tests () =
+  (* Algorithm 1 at growing page counts: the low-order-polynomial claim *)
+  List.map
+    (fun n ->
+      Bechamel.Test.make
+        ~name:(Printf.sprintf "greedy transform N=%03d to M=%03d" n (max 1 (n / 2)))
+        (stage (fun () -> Greedy.run ~n ~m:(max 1 (n / 2)) ~ii_p:2 ~iterations:8)))
+    [ 8; 16; 32; 64; 128; 256 ]
+
+let mapper_tests () =
+  let arch = Option.get (Cgra_arch.Cgra.standard ~size:4 ~page_pes:4) in
+  let mpeg = (Cgra_kernels.Kernels.find_exn "mpeg").graph in
+  let sobel = (Cgra_kernels.Kernels.find_exn "sobel").graph in
+  [
+    Bechamel.Test.make ~name:"compile mpeg 4x4 (paged)"
+      (stage (fun () ->
+           Result.get_ok
+             (Cgra_mapper.Scheduler.map Cgra_mapper.Scheduler.Paged arch mpeg)));
+    Bechamel.Test.make ~name:"compile sobel 4x4 (paged)"
+      (stage (fun () ->
+           Result.get_ok
+             (Cgra_mapper.Scheduler.map Cgra_mapper.Scheduler.Paged arch sobel)));
+  ]
+
+let run_micro () =
+  section "Micro-benchmarks - PageMaster runtime vs. compiler runtime";
+  let open Bechamel in
+  let open Toolkit in
+  let benchmark tests =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"bench" tests) in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let show tests =
+    let results = benchmark tests in
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name ols ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        rows := (name, ns) :: !rows)
+      results;
+    List.iter
+      (fun (name, ns) ->
+        let name =
+          match String.index_opt name '/' with
+          | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+          | None -> name
+        in
+        if ns >= 1_000_000.0 then
+          Printf.printf "  %-40s %10.2f ms/run\n" name (ns /. 1e6)
+        else if ns >= 1_000.0 then
+          Printf.printf "  %-40s %10.2f us/run\n" name (ns /. 1e3)
+        else Printf.printf "  %-40s %10.0f ns/run\n" name ns)
+      (List.sort compare !rows)
+  in
+  print_endline "\nPageMaster fold (runtime transformation):";
+  show (transform_tests ());
+  print_endline "\nGreedy Algorithm 1 (page-level, growing N, 8 kernel iterations):";
+  show (greedy_tests ());
+  print_endline
+    "\nCompiler (for contrast: the transformation must be, and is, orders of\n\
+     magnitude cheaper than recompiling):";
+  show (mapper_tests ())
+
+(* ----- ablations (design choices DESIGN.md calls out) ----- *)
+
+let run_ablation () =
+  section "Ablations - assumptions and design choices, varied";
+  let show title = function
+    | Ok rows ->
+        print_newline ();
+        print_endline (Experiments.render_ablation ~title rows)
+    | Error e -> Printf.printf "%s: error %s\n" title e
+  in
+  show
+    "Reconfiguration cost per PageMaster reshape (8x8, 4-PE pages; the paper \
+     assumes 0)"
+    (Experiments.ablation_reconfig_cost ~size:8 ~page_pes:4
+       ~costs:[ 0; 10; 100; 1000; 10000 ] ());
+  show "Allocation policy (8x8, 4-PE pages)"
+    (Experiments.ablation_policy ~size:8 ~page_pes:4 ());
+  show "Memory ports per row bus (4x4, 4-PE pages)"
+    (Experiments.ablation_mem_ports ~size:4 ~page_pes:4 ~ports:[ 1; 2; 4; 8 ] ())
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "fig8" -> run_fig8 ()
+  | "fig9" -> run_fig9 ~replicates:3 ()
+  | "micro" -> run_micro ()
+  | "ablation" -> run_ablation ()
+  | "all" ->
+      run_fig8 ();
+      run_fig9 ~replicates:3 ();
+      run_ablation ();
+      run_micro ()
+  | other ->
+      Printf.eprintf
+        "unknown mode %s (expected fig8 | fig9 | ablation | micro | all)\n" other;
+      exit 1

@@ -1,0 +1,320 @@
+(* Command-line front end: explore kernels, map them, shrink schedules with
+   the PageMaster transformation, simulate, and regenerate the paper's
+   figures. *)
+
+open Cmdliner
+open Cgra_arch
+open Cgra_dfg
+open Cgra_mapper
+open Cgra_core
+
+(* ----- shared arguments ----- *)
+
+let kernel_arg =
+  let doc = "Kernel name (see the kernels command)." in
+  Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~docv:"NAME" ~doc)
+
+let size_arg =
+  let doc = "CGRA size (4, 6, or 8 for a size x size mesh)." in
+  Arg.(value & opt int 4 & info [ "s"; "size" ] ~docv:"N" ~doc)
+
+let page_arg =
+  let doc = "PEs per page (2, 4, or 8)." in
+  Arg.(value & opt int 4 & info [ "p"; "page-size" ] ~docv:"PES" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the compiler and workloads." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let iters_arg =
+  let doc = "Loop iterations to simulate." in
+  Arg.(value & opt int 32 & info [ "i"; "iterations" ] ~docv:"N" ~doc)
+
+let arch_of ~size ~page_pes =
+  match Cgra.standard ~size ~page_pes with
+  | Some a -> Ok a
+  | None ->
+      Error
+        (Printf.sprintf
+           "%dx%d with %d-PE pages is not a supported configuration (fewer than four \
+            pages)"
+           size size page_pes)
+
+let kernel_of name =
+  match Cgra_kernels.Kernels.find name with
+  | Some k -> Ok k
+  | None ->
+      Error
+        (Printf.sprintf "unknown kernel %s (known: %s)" name
+           (String.concat ", " Cgra_kernels.Kernels.names))
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+(* ----- kernels ----- *)
+
+let cmd_kernels =
+  let run () =
+    let header = [ "kernel"; "ops"; "edges"; "mem"; "RecMII"; "description" ] in
+    let rows =
+      List.map
+        (fun (k : Cgra_kernels.Kernels.t) ->
+          [
+            k.name;
+            string_of_int (Graph.n_nodes k.graph);
+            string_of_int (Graph.n_edges k.graph);
+            string_of_int (Graph.mem_node_count k.graph);
+            string_of_int (Analysis.rec_mii k.graph);
+            k.description;
+          ])
+        Cgra_kernels.Kernels.all
+    in
+    print_endline
+      (Cgra_util.Table.render
+         ~align:[ Cgra_util.Table.Left; Right; Right; Right; Right; Left ]
+         ~header rows)
+  in
+  Cmd.v (Cmd.info "kernels" ~doc:"List the benchmark kernel suite.")
+    Term.(const run $ const ())
+
+(* ----- map ----- *)
+
+let cmd_map =
+  let run kernel size page_pes seed paged show =
+    let arch = or_die (arch_of ~size ~page_pes) in
+    let k = or_die (kernel_of kernel) in
+    let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
+    let m = or_die (Scheduler.map ~seed kind arch k.graph) in
+    Format.printf "%a@." Mapping.pp_stats m;
+    (match Mapping.validate m with
+    | Ok () -> print_endline "validation: ok"
+    | Error es -> List.iter (fun e -> print_endline ("VIOLATION: " ^ e)) es);
+    if show then begin
+      Format.printf "@.%a" Mapping.pp m;
+      Format.printf "@.page-level schedule:@.%a" Page_schedule.pp
+        (Page_schedule.of_mapping m)
+    end
+  in
+  let paged =
+    Arg.(value & flag & info [ "paged" ] ~doc:"Apply the paging constraints.")
+  in
+  let show = Arg.(value & flag & info [ "show" ] ~doc:"Print the placement grids.") in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Compile a kernel onto the CGRA and report II and placement.")
+    Term.(const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ show)
+
+(* ----- shrink ----- *)
+
+let cmd_shrink =
+  let run kernel size page_pes seed target show =
+    let arch = or_die (arch_of ~size ~page_pes) in
+    let k = or_die (kernel_of kernel) in
+    let m = or_die (Scheduler.map ~seed Scheduler.Paged arch k.graph) in
+    Format.printf "original: %a@." Mapping.pp_stats m;
+    let sh = or_die (Transform.fold ~target_pages:target m) in
+    Format.printf "shrunk:   %a@." Mapping.pp_stats sh.mapping;
+    Printf.printf "fold factor s = %d, II %d -> %d, PE-exact: %b\n" sh.s m.ii
+      sh.mapping.ii sh.pe_exact;
+    if sh.pe_exact then begin
+      (match Mapping.validate ~check_mem:false sh.mapping with
+      | Ok () -> print_endline "validation: ok"
+      | Error es -> List.iter (fun e -> print_endline ("VIOLATION: " ^ e)) es);
+      let mem = Cgra_kernels.Kernels.init_memory k in
+      match Cgra_sim.Check.against_oracle sh.mapping mem ~iterations:32 with
+      | Ok () -> print_endline "simulation vs oracle: bit-exact over 32 iterations"
+      | Error es -> List.iter (fun e -> print_endline ("MISMATCH: " ^ e)) es
+    end;
+    if show then begin
+      Format.printf "@.before:@.%a" Page_schedule.pp (Page_schedule.of_mapping m);
+      Format.printf "@.after:@.%a" Page_schedule.pp
+        (Page_schedule.of_mapping sh.mapping)
+    end
+  in
+  let target =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "m"; "target-pages" ] ~docv:"M" ~doc:"Pages to shrink to.")
+  in
+  let show = Arg.(value & flag & info [ "show" ] ~doc:"Print page schedules.") in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:"Compile a kernel, then shrink it with the PageMaster transformation.")
+    Term.(const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ target $ show)
+
+(* ----- simulate ----- *)
+
+let cmd_simulate =
+  let run kernel size page_pes seed paged iterations =
+    let arch = or_die (arch_of ~size ~page_pes) in
+    let k = or_die (kernel_of kernel) in
+    let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
+    let m = or_die (Scheduler.map ~seed kind arch k.graph) in
+    let mem = Cgra_kernels.Kernels.init_memory k in
+    match Cgra_sim.Check.against_oracle m mem ~iterations with
+    | Ok () ->
+        Printf.printf
+          "%s on %dx%d: %d iterations executed cycle-accurately, bit-exact vs the \
+           sequential oracle (II=%d)\n"
+          kernel size size iterations m.ii
+    | Error es ->
+        List.iter (fun e -> print_endline ("MISMATCH: " ^ e)) es;
+        exit 1
+  in
+  let paged =
+    Arg.(value & flag & info [ "paged" ] ~doc:"Use the paging-constrained compiler.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute a mapped kernel cycle-accurately and compare with the oracle.")
+    Term.(const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ iters_arg)
+
+(* ----- greedy ----- *)
+
+let cmd_greedy =
+  let run n m ii iterations =
+    let r = Greedy.run ~n ~m ~ii_p:ii ~iterations in
+    Printf.printf
+      "N=%d M=%d II_p=%d over %d kernel iterations:\n\
+      \  steady-state II: %.2f (fold optimum %d)\n\
+      \  cases: two-hop %d, one-hop %d, zero-hop %d, fallbacks %d\n\
+      \  dependency violations: %d\n"
+      n m ii iterations r.steady_ii
+      (Transform.ii_q ~ii_p:ii ~n_used:n ~target_pages:m)
+      r.case_two_hop r.case_one_hop r.case_zero_hop r.fallbacks r.dep_violations;
+    (* first two page-iterations as a column/time diagram *)
+    let show_step step =
+      Printf.printf "  step %d:" step;
+      Array.iteri
+        (fun page (p : Greedy.placement) ->
+          Printf.printf " p%d@(c%d,t%d)" page p.col p.time)
+        r.place.(step);
+      print_newline ()
+    in
+    show_step 0;
+    if iterations * ii > 1 then show_step 1
+  in
+  let n = Arg.(value & opt int 6 & info [ "n" ] ~docv:"N" ~doc:"Source pages.") in
+  let m = Arg.(value & opt int 5 & info [ "m" ] ~docv:"M" ~doc:"Destination columns.") in
+  let ii = Arg.(value & opt int 1 & info [ "ii" ] ~docv:"II" ~doc:"Source II.") in
+  let iters =
+    Arg.(value & opt int 20 & info [ "iterations" ] ~docv:"K" ~doc:"Kernel iterations.")
+  in
+  Cmd.v
+    (Cmd.info "greedy"
+       ~doc:"Run the paper's Algorithm 1 (greedy PlacePage) at page granularity.")
+    Term.(const run $ n $ m $ ii $ iters)
+
+(* ----- encode ----- *)
+
+let cmd_encode =
+  let run kernel size page_pes seed paged target =
+    let arch = or_die (arch_of ~size ~page_pes) in
+    let k = or_die (kernel_of kernel) in
+    let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
+    let m = or_die (Scheduler.map ~seed kind arch k.graph) in
+    let m =
+      match target with
+      | None -> m
+      | Some t ->
+          let sh = or_die (Transform.fold ~target_pages:t m) in
+          if not sh.Transform.pe_exact then
+            or_die (Error "fold is page-level only; cannot lower to contexts");
+          sh.Transform.mapping
+    in
+    let img = or_die (Cgra_isa.Config.encode m) in
+    Printf.printf
+      "%s: II=%d, %d context words over %d slots, %d-register rotating files\n\n"
+      kernel img.Cgra_isa.Config.ii
+      (Cgra_isa.Config.context_count img)
+      (Cgra_isa.Config.words img)
+      img.Cgra_isa.Config.reg_capacity;
+    Format.printf "%a" Cgra_isa.Config.pp img;
+    let mem = Cgra_kernels.Kernels.init_memory k in
+    let mem_ref = Cgra_dfg.Memory.copy mem in
+    let report = Cgra_isa.Exec_image.run img mem ~iterations:32 in
+    Interp.run k.graph mem_ref ~iterations:32;
+    match Cgra_dfg.Memory.diff mem mem_ref with
+    | [] ->
+        Printf.printf
+          "\ndecoder machine: %d cycles, %d firings, %d squashed - bit-exact vs the \
+           oracle\n"
+          report.cycles report.fired report.squashed
+    | ds ->
+        List.iter
+          (fun (a, i, x, y) -> Printf.printf "MISMATCH %s[%d]: %d vs %d\n" a i x y)
+          ds;
+        exit 1
+  in
+  let paged =
+    Arg.(value & flag & info [ "paged" ] ~doc:"Use the paging-constrained compiler.")
+  in
+  let target =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "m"; "target-pages" ] ~docv:"M"
+          ~doc:"Shrink with PageMaster before encoding.")
+  in
+  Cmd.v
+    (Cmd.info "encode"
+       ~doc:
+         "Lower a (possibly shrunk) schedule to per-PE context words and run the \
+          decoder-level machine.")
+    Term.(const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ target)
+
+(* ----- dot ----- *)
+
+let cmd_dot =
+  let run kernel =
+    let k = or_die (kernel_of kernel) in
+    print_string (Dot.to_dot k.graph)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Print a kernel's data-flow graph in Graphviz format.")
+    Term.(const run $ kernel_arg)
+
+(* ----- fig8 / fig9 ----- *)
+
+let cmd_fig8 =
+  let run size seed =
+    List.iter
+      (fun f ->
+        print_endline (Experiments.render_fig8 f);
+        print_newline ())
+      (Experiments.fig8_all ~seed ~size ())
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Reproduce Fig. 8 (constraint cost) for one CGRA size.")
+    Term.(const run $ size_arg $ seed_arg)
+
+let cmd_fig9 =
+  let run size seed replicates =
+    List.iter
+      (fun f ->
+        print_endline (Experiments.render_fig9 f);
+        print_newline ())
+      (Experiments.fig9_all ~seed ~replicates ~size ())
+  in
+  let replicates =
+    Arg.(
+      value & opt int 3
+      & info [ "replicates" ] ~docv:"R" ~doc:"Random workloads per data point.")
+  in
+  Cmd.v
+    (Cmd.info "fig9"
+       ~doc:"Reproduce Fig. 9 (multithreading improvement) for one CGRA size.")
+    Term.(const run $ size_arg $ seed_arg $ replicates)
+
+let () =
+  let doc = "multithreaded CGRA compiler, PageMaster transformation, and simulator" in
+  let info = Cmd.info "cgra_tool" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            cmd_kernels; cmd_map; cmd_shrink; cmd_simulate; cmd_encode; cmd_greedy;
+            cmd_dot; cmd_fig8; cmd_fig9;
+          ]))

@@ -1,0 +1,1 @@
+examples/coresidency.ml: Allocator Cgra Cgra_arch Cgra_core Cgra_dfg Cgra_isa Cgra_kernels Cgra_mapper Cgra_sim Format List Mapping Option Printf Result Scheduler Transform

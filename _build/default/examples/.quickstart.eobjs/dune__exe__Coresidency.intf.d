@@ -1,0 +1,1 @@
+examples/coresidency.mli:

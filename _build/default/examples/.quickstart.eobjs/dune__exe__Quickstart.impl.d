@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cgra Cgra_arch Cgra_core Cgra_dfg Cgra_kernels Cgra_mapper Cgra_sim Format List Mapping Option Page_schedule Scheduler Transform

@@ -1,0 +1,1 @@
+examples/shrink_walkthrough.ml: Array Cgra Cgra_arch Cgra_core Cgra_kernels Cgra_mapper Cgra_sim Format Greedy List Mapping Option Orient Printf Result Scheduler String Transform

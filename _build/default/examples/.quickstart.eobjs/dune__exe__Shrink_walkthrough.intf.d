@@ -1,0 +1,1 @@
+examples/shrink_walkthrough.mli:

@@ -1,0 +1,1 @@
+examples/utilization_study.ml: Analysis Cgra Cgra_arch Cgra_core Cgra_dfg Cgra_kernels Cgra_mapper Graph List Op Option Printf Scheduler

@@ -1,0 +1,1 @@
+examples/utilization_study.mli:

@@ -1,0 +1,1 @@
+examples/video_server.ml: Binary Cgra_arch Cgra_core List Option Os_sim Printf Thread_model

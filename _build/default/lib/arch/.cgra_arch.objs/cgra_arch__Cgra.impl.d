@@ -1,0 +1,1 @@
+lib/arch/cgra.ml: Format Grid Option Page

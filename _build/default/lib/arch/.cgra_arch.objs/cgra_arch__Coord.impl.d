@@ -1,0 +1,1 @@
+lib/arch/coord.ml: Format Int

@@ -1,0 +1,1 @@
+lib/arch/grid.ml: Array Coord Format Fun List

@@ -1,0 +1,1 @@
+lib/arch/grid.mli: Coord Format

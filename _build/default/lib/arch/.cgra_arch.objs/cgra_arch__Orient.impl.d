@@ -1,0 +1,1 @@
+lib/arch/orient.ml: Coord Format List

@@ -1,0 +1,1 @@
+lib/arch/orient.mli: Coord Format

@@ -1,0 +1,1 @@
+lib/arch/page.ml: Array Coord Format Fun Grid List Option

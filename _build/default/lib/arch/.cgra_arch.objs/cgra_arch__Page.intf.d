@@ -1,0 +1,1 @@
+lib/arch/page.mli: Coord Format Grid

@@ -1,0 +1,27 @@
+type t = {
+  grid : Grid.t;
+  pages : Page.t;
+  rf_capacity : int;
+  mem_ports_per_row : int;
+}
+
+let make ?rf_capacity ?(mem_ports_per_row = 2) pages =
+  let rf_capacity =
+    match rf_capacity with Some c -> c | None -> max 16 (3 * Page.n_pages pages)
+  in
+  if rf_capacity <= 0 then invalid_arg "Cgra.make: rf_capacity must be positive";
+  if mem_ports_per_row <= 0 then
+    invalid_arg "Cgra.make: mem_ports_per_row must be positive";
+  { grid = pages.Page.grid; pages; rf_capacity; mem_ports_per_row }
+
+let standard ~size ~page_pes =
+  let grid = Grid.square size in
+  Option.map make (Page.for_size grid page_pes)
+
+let n_pages t = Page.n_pages t.pages
+
+let pe_count t = Grid.pe_count t.grid
+
+let pp ppf t =
+  Format.fprintf ppf "CGRA %a rf=%d memports/row=%d" Page.pp t.pages t.rf_capacity
+    t.mem_ports_per_row

@@ -1,0 +1,31 @@
+(** Whole-array architecture description.
+
+    Bundles the mesh, its page division, and the microarchitectural
+    parameters the mapper and validator need: rotating register-file
+    capacity per PE and the number of memory ports on each row's shared
+    data bus (Fig. 1 shows one bus per row). *)
+
+type t = private {
+  grid : Grid.t;
+  pages : Page.t;
+  rf_capacity : int;  (** registers per PE usable for live temporaries *)
+  mem_ports_per_row : int;  (** simultaneous loads/stores per row per cycle *)
+}
+
+val make : ?rf_capacity:int -> ?mem_ports_per_row:int -> Page.t -> t
+(** Defaults: [rf_capacity] is [max 16 (3 * n_pages)] — the paper requires
+    N rotating registers per PE to shrink an N-page schedule to one page,
+    and folded lifetimes can stretch up to one extra II per page crossing,
+    so 3N provisions the worst case; [mem_ports_per_row = 2]. *)
+
+val standard : size:int -> page_pes:int -> t option
+(** [standard ~size ~page_pes] is the configuration used in the paper's
+    experiments: a [size x size] grid with [page_pes]-PE pages.  [None]
+    when the page size leaves fewer than two pages (e.g. 8-PE pages on a
+    4x4 CGRA). *)
+
+val n_pages : t -> int
+
+val pe_count : t -> int
+
+val pp : Format.formatter -> t -> unit

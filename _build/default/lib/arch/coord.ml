@@ -1,0 +1,35 @@
+type t = { row : int; col : int }
+
+type dir = North | East | South | West
+
+let make ~row ~col = { row; col }
+
+let equal a b = a.row = b.row && a.col = b.col
+
+let compare a b =
+  let c = Int.compare a.row b.row in
+  if c <> 0 then c else Int.compare a.col b.col
+
+let add a b = { row = a.row + b.row; col = a.col + b.col }
+
+let step c = function
+  | North -> { c with row = c.row - 1 }
+  | South -> { c with row = c.row + 1 }
+  | East -> { c with col = c.col + 1 }
+  | West -> { c with col = c.col - 1 }
+
+let opposite = function North -> South | South -> North | East -> West | West -> East
+
+let all_dirs = [ North; East; South; West ]
+
+let manhattan a b = abs (a.row - b.row) + abs (a.col - b.col)
+
+let adjacent a b = manhattan a b = 1
+
+let pp ppf c = Format.fprintf ppf "(%d,%d)" c.row c.col
+
+let pp_dir ppf d =
+  Format.pp_print_string ppf
+    (match d with North -> "N" | East -> "E" | South -> "S" | West -> "W")
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,38 @@
+(** PE coordinates and mesh directions.
+
+    The CGRA is a 2-D grid; [row] grows downwards and [col] grows to the
+    right, matching the figures in the paper (page 0 at the top-left). *)
+
+type t = { row : int; col : int }
+
+type dir = North | East | South | West
+
+val make : row:int -> col:int -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val add : t -> t -> t
+
+val step : t -> dir -> t
+(** Neighbouring coordinate in the given direction (may be out of grid
+    bounds; bounds are the grid's concern). *)
+
+val opposite : dir -> dir
+
+val all_dirs : dir list
+(** [North; East; South; West]. *)
+
+val manhattan : t -> t -> int
+
+val adjacent : t -> t -> bool
+(** True when the two coordinates are mesh neighbours (manhattan distance
+    one). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(row,col)]. *)
+
+val pp_dir : Format.formatter -> dir -> unit
+
+val to_string : t -> string

@@ -1,0 +1,61 @@
+(* A symmetry is "transpose first (optional), then flip rows/cols".  This
+   parameterization covers all eight elements of D4. *)
+type t = { swap : bool; flip_r : bool; flip_c : bool }
+
+let identity = { swap = false; flip_r = false; flip_c = false }
+
+let flip_rows = { identity with flip_r = true }
+
+let flip_cols = { identity with flip_c = true }
+
+let equal a b = a = b
+
+let is_identity o = o = identity
+
+let swaps_axes o = o.swap
+
+let all ~square =
+  let flips =
+    [
+      identity;
+      flip_rows;
+      flip_cols;
+      { swap = false; flip_r = true; flip_c = true };
+    ]
+  in
+  if not square then flips
+  else flips @ List.map (fun o -> { o with swap = true }) flips
+
+let apply o ~tile_rows ~tile_cols (c : Coord.t) =
+  if o.swap && tile_rows <> tile_cols then
+    invalid_arg "Orient.apply: axis swap on non-square tile";
+  let r, c' = if o.swap then (c.Coord.col, c.Coord.row) else (c.Coord.row, c.Coord.col) in
+  let r = if o.flip_r then tile_rows - 1 - r else r in
+  let c' = if o.flip_c then tile_cols - 1 - c' else c' in
+  Coord.make ~row:r ~col:c'
+
+(* Composition worked out on the matrix representation: each element is
+   (P, f) where P is an optional transpose and f the flips.  We compute
+   [compose f g] by brute force over a 2x2 support, which is safe because a
+   symmetry is determined by its action on any square tile. *)
+let compose f g =
+  let probe = [ Coord.make ~row:0 ~col:0; Coord.make ~row:0 ~col:1 ] in
+  let target c =
+    apply f ~tile_rows:2 ~tile_cols:2 (apply g ~tile_rows:2 ~tile_cols:2 c)
+  in
+  let expected = List.map target probe in
+  let matches o =
+    List.for_all2
+      (fun c e -> Coord.equal (apply o ~tile_rows:2 ~tile_cols:2 c) e)
+      probe expected
+  in
+  match List.find_opt matches (all ~square:true) with
+  | Some o -> o
+  | None -> assert false (* D4 is closed under composition *)
+
+let pp ppf o =
+  Format.fprintf ppf "%s%s%s"
+    (if o.swap then "T" else "")
+    (if o.flip_r then "R" else "")
+    (if o.flip_c then "C" else "");
+  if is_identity o then Format.pp_print_string ppf "I"

@@ -1,0 +1,1 @@
+lib/core/binary.ml: Cgra_dfg Cgra_kernels Cgra_mapper List Mapping Result Scheduler Transform

@@ -1,0 +1,1 @@
+lib/core/binary.mli: Cgra_arch Cgra_dfg Cgra_kernels Cgra_mapper

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Allocator Binary Cgra_arch Cgra_util List Os_sim Printf Result Workload

@@ -1,0 +1,1 @@
+lib/core/mirror.ml: Array Cgra_arch Coord List Option Orient Page Printf

@@ -1,0 +1,1 @@
+lib/core/mirror.mli: Cgra_arch

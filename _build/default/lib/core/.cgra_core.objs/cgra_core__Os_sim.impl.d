@@ -1,0 +1,1 @@
+lib/core/os_sim.ml: Allocator Binary Cgra_dfg Cgra_util Float Hashtbl List Queue Thread_model

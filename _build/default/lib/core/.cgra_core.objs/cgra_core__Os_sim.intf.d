@@ -1,0 +1,1 @@
+lib/core/os_sim.mli: Allocator Binary Thread_model

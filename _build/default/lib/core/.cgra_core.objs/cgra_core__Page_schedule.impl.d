@@ -1,0 +1,1 @@
+lib/core/page_schedule.ml: Array Cgra Cgra_arch Cgra_mapper Format List Mapping Page Printf String

@@ -1,0 +1,1 @@
+lib/core/page_schedule.mli: Cgra_mapper Format

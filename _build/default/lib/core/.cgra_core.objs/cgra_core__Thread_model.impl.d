@@ -1,0 +1,1 @@
+lib/core/thread_model.ml: Format Hashtbl List Option String

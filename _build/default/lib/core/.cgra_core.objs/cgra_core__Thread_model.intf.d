@@ -1,0 +1,1 @@
+lib/core/thread_model.mli: Format

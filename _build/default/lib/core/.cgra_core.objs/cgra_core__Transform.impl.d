@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Cgra Cgra_arch Cgra_mapper List Mapping Mirror Option Orient Page Printf

@@ -1,0 +1,1 @@
+lib/core/transform.mli: Cgra_arch Cgra_mapper

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Binary Cgra_util List Thread_model

@@ -1,0 +1,57 @@
+(** The OS-side CGRA page allocator (Section VII-B.1 of the paper).
+
+    Pages are allocated as {e contiguous} ranges of the serpentine ring
+    order — the PageMaster fold needs physically adjacent destination
+    tiles.  The policy is the paper's:
+
+    - a kernel that fits in the unused portion of the CGRA is placed
+      there without disturbing anyone;
+    - otherwise the thread holding the most pages is shrunk to half as
+      many (its schedule re-folded by PageMaster), and the new thread
+      takes the freed half;
+    - when a thread leaves, its pages are merged with adjacent free space
+      and running neighbours are expanded toward their desired sizes.
+
+    The allocator is purely functional state-in/state-out at the module
+    boundary (mutable inside) and knows nothing about time; the
+    discrete-event simulator drives it. *)
+
+type range = { base : int; len : int }
+
+type policy =
+  | Halving  (** the paper's policy: shrink the largest holder to half *)
+  | Repack_equal
+      (** ablation: on contention, repack every resident to an equal
+          contiguous share (more transformations, fairer splits) *)
+
+type t
+
+val create : ?policy:policy -> total_pages:int -> unit -> t
+(** Default policy: [Halving]. *)
+
+val request : t -> client:int -> desired:int -> range option
+(** Allocate for a new client wanting [desired] pages (its paged
+    mapping's footprint).  [None] when every running client is down to a
+    single page — the new client must wait (the stall regime of the 4x4
+    results).  The allocation may be smaller than [desired]. *)
+
+val release : t -> client:int -> unit
+(** Free the client's range and merge free space.  Raises
+    [Invalid_argument] for unknown clients. *)
+
+val expand : t -> (int * range) list
+(** Grow running clients into free space, largest deficit first, and
+    return every client whose range changed (with its new range).  Call
+    after {!release} and after waiters have been served. *)
+
+val allocation : t -> client:int -> range option
+
+val shrunk_clients : t -> (int * range) list
+(** Clients whose current allocation is below their desired size. *)
+
+val free_pages : t -> int
+
+val clients : t -> (int * range) list
+(** All allocations, sorted by base. *)
+
+val pp : Format.formatter -> t -> unit

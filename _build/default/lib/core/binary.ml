@@ -1,0 +1,38 @@
+open Cgra_mapper
+
+type t = {
+  name : string;
+  graph : Cgra_dfg.Graph.t;
+  base : Mapping.t;
+  paged : Mapping.t;
+}
+
+let ii_base t = t.base.Mapping.ii
+
+let ii_paged t = t.paged.Mapping.ii
+
+let pages_used t = Mapping.n_pages_used t.paged
+
+let iteration_cycles t ~pages =
+  if pages <= 0 then invalid_arg "Binary.iteration_cycles: pages <= 0";
+  Transform.ii_q ~ii_p:(ii_paged t) ~n_used:(pages_used t) ~target_pages:pages
+
+let compile ?(seed = 0) arch (k : Cgra_kernels.Kernels.t) =
+  match Scheduler.map ~seed Unconstrained arch k.graph with
+  | Error e -> Error e
+  | Ok base -> (
+      match Scheduler.map ~seed Paged arch k.graph with
+      | Error e -> Error e
+      | Ok paged -> Ok { name = k.name; graph = k.graph; base; paged })
+
+let compile_suite ?(seed = 0) arch =
+  List.fold_left
+    (fun acc k ->
+      match acc with
+      | Error _ as e -> e
+      | Ok done_ -> (
+          match compile ~seed arch k with
+          | Ok b -> Ok (b :: done_)
+          | Error e -> Error e))
+    (Ok []) Cgra_kernels.Kernels.all
+  |> Result.map List.rev

@@ -1,0 +1,34 @@
+(** Compiled kernel "binaries": what the OS ships to the CGRA.
+
+    Each kernel is compiled twice for a given fabric — with the original
+    (unconstrained) compiler and with the paging constraints — exactly as
+    in the paper's experimental setup.  The single-threaded system runs
+    the unconstrained binary; the multithreaded system runs the paged one
+    and shrinks it with the PageMaster transformation as needed. *)
+
+type t = {
+  name : string;
+  graph : Cgra_dfg.Graph.t;
+  base : Cgra_mapper.Mapping.t;  (** unconstrained mapping, [II_b] *)
+  paged : Cgra_mapper.Mapping.t;  (** paging-constrained mapping, [II_c] *)
+}
+
+val ii_base : t -> int
+
+val ii_paged : t -> int
+
+val pages_used : t -> int
+(** Pages the paged mapping occupies — what the thread gets when the CGRA
+    is otherwise idle. *)
+
+val iteration_cycles : t -> pages:int -> int
+(** Cycles per kernel iteration when the thread holds [pages] pages:
+    [ii_paged * ceil (pages_used / pages)], clamped at [ii_paged] when
+    the allocation covers the whole schedule ([Transform.ii_q]). *)
+
+val compile :
+  ?seed:int -> Cgra_arch.Cgra.t -> Cgra_kernels.Kernels.t -> (t, string) result
+
+val compile_suite : ?seed:int -> Cgra_arch.Cgra.t -> (t list, string) result
+(** Compile the full 11-kernel suite; fails if any kernel fails to map
+    (treated as a bug by the test-suite). *)

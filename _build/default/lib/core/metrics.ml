@@ -1,0 +1,19 @@
+let ipc_of_kernel ~ops ~ii =
+  if ii <= 0 then invalid_arg "Metrics.ipc_of_kernel: ii <= 0";
+  float_of_int ops /. float_of_int ii
+
+let utilization_of_kernel ~ops ~ii ~pes =
+  if pes <= 0 then invalid_arg "Metrics.utilization_of_kernel: pes <= 0";
+  ipc_of_kernel ~ops ~ii /. float_of_int pes
+
+let aggregate_ipc kernels =
+  List.fold_left (fun acc (ops, ii) -> acc +. ipc_of_kernel ~ops ~ii) 0.0 kernels
+
+let ipc_identity_gap ~pes kernels =
+  let n = float_of_int pes in
+  let u_a =
+    List.fold_left
+      (fun acc (ops, ii) -> acc +. utilization_of_kernel ~ops ~ii ~pes)
+      0.0 kernels
+  in
+  Float.abs (aggregate_ipc kernels -. (n *. u_a))

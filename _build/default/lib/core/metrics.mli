@@ -1,0 +1,20 @@
+(** Throughput metrics of Section IV.
+
+    The paper argues that with [I = N * U * II] (instructions, PEs,
+    utilization, initiation interval), the IPC of a set of co-resident
+    kernels is [IPC = N * U_a] with [U_a] the average PE utilization — so
+    throughput rises exactly when multithreading raises utilization. *)
+
+val ipc_of_kernel : ops:int -> ii:int -> float
+(** Instructions per cycle of one kernel: [ops / ii]. *)
+
+val utilization_of_kernel : ops:int -> ii:int -> pes:int -> float
+(** Fraction of PE slots the kernel fills: [ops / (pes * ii)]. *)
+
+val aggregate_ipc : (int * int) list -> float
+(** IPC of concurrently resident kernels given [(ops, ii)] pairs. *)
+
+val ipc_identity_gap : pes:int -> (int * int) list -> float
+(** |aggregate IPC - N * U_a| — zero up to float rounding; the §IV
+    identity, checked by the test-suite and demonstrated by
+    [examples/utilization_study]. *)

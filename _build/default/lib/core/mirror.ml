@@ -1,0 +1,64 @@
+open Cgra_arch
+
+let relocate ~pages ~src_page ~dst_page o pe =
+  let tile_rows, tile_cols = Page.vdims pages in
+  match Page.vlocal pages src_page pe with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Mirror.relocate: %s not in page %d" (Coord.to_string pe)
+           src_page)
+  | Some local -> (
+      let local' = Orient.apply o ~tile_rows ~tile_cols local in
+      match Page.vglobal pages dst_page local' with
+      | Some pe' -> pe'
+      | None -> assert false (* symmetries preserve the tile *))
+
+let solve ~pages ~n_used ~s ~base ~cross_steps =
+  let candidates = Orient.all ~square:(Page.is_square_tile pages) in
+  let dst n = base + (n / s) in
+  (* A pair (o_n, o_next) satisfies the steps crossing page n -> n+1 when
+     every transferred value stays within register-file reach. *)
+  let pair_ok n o_n o_next =
+    List.for_all
+      (fun (a, b) ->
+        let a' = relocate ~pages ~src_page:n ~dst_page:(dst n) o_n a in
+        let b' = relocate ~pages ~src_page:(n + 1) ~dst_page:(dst (n + 1)) o_next b in
+        Coord.equal a' b' || Coord.adjacent a' b')
+      cross_steps.(n)
+  in
+  if n_used <= 0 then Some [||]
+  else begin
+    (* DP over the page path: feasible orientations of page n, with a
+       witness predecessor for path reconstruction. *)
+    let feasible = Array.make n_used [] in
+    feasible.(0) <- List.map (fun o -> (o, None)) candidates;
+    for n = 1 to n_used - 1 do
+      feasible.(n) <-
+        List.filter_map
+          (fun o ->
+            let pred =
+              List.find_opt (fun (o_prev, _) -> pair_ok (n - 1) o_prev o) feasible.(n - 1)
+            in
+            Option.map (fun (o_prev, _) -> (o, Some o_prev)) pred)
+          candidates
+    done;
+    match feasible.(n_used - 1) with
+    | [] -> None
+    | (last, _) :: _ ->
+        let result = Array.make n_used Orient.identity in
+        result.(n_used - 1) <- last;
+        (* walk back through witnesses *)
+        let rec back n o =
+          if n = 0 then ()
+          else
+            let o_prev =
+              match List.find_opt (fun (o', _) -> Orient.equal o' o) feasible.(n) with
+              | Some (_, Some p) -> p
+              | Some (_, None) | None -> assert false
+            in
+            result.(n - 1) <- o_prev;
+            back (n - 1) o_prev
+        in
+        back (n_used - 1) last;
+        Some result
+  end

@@ -1,0 +1,43 @@
+(** Intra-page mirroring for the PageMaster transformation (Fig. 6 of the
+    paper: "the internal page mapping must be mirrored across the
+    among-page dependency direction").
+
+    When the fold transformation stacks source pages onto destination
+    tiles, each page's internal mapping may be reflected (and, for square
+    tiles, rotated) so that every inter-page data transfer still lands
+    within register-file reach — on the same PE (pages stacked in time) or
+    a mesh neighbour (pages on adjacent tiles).
+
+    Intra-page steps are preserved by {e any} symmetry (isometries keep
+    mesh adjacency; band pages are restricted to path-consecutive
+    adjacency, which survives reversal), so only cross-page steps
+    constrain orientations.  Consecutive pages form a path, so a small
+    dynamic program over candidate symmetries solves the assignment
+    exactly: if the DP fails, no orientation assignment exists (this
+    happens for non-square tiles whose fold mixes horizontal and vertical
+    page boundaries; square tiles always admit the needed rotation). *)
+
+val solve :
+  pages:Cgra_arch.Page.t ->
+  n_used:int ->
+  s:int ->
+  base:int ->
+  cross_steps:(Cgra_arch.Coord.t * Cgra_arch.Coord.t) list array ->
+  Cgra_arch.Orient.t array option
+(** [solve ~pages ~n_used ~s ~base ~cross_steps] assigns one symmetry per
+    source page [0 .. n_used-1], where source page [n] is relocated to
+    destination page [base + n/s] and [cross_steps.(n)] lists the
+    producer/consumer PE pairs of steps crossing from page [n] to page
+    [n+1].  Returns [None] when no assignment satisfies every step. *)
+
+val relocate :
+  pages:Cgra_arch.Page.t ->
+  src_page:int ->
+  dst_page:int ->
+  Cgra_arch.Orient.t ->
+  Cgra_arch.Coord.t ->
+  Cgra_arch.Coord.t
+(** [relocate ~pages ~src_page ~dst_page o pe] is the new position of
+    [pe] (a member of [src_page]) after applying symmetry [o] and moving
+    to [dst_page]'s tile.  Raises [Invalid_argument] if [pe] is not in
+    [src_page]. *)

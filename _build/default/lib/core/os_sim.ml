@@ -1,0 +1,247 @@
+type mode = Single | Multi
+
+type params = {
+  suite : Binary.t list;
+  threads : Thread_model.t list;
+  total_pages : int;
+  mode : mode;
+}
+
+type result_t = {
+  makespan : float;
+  finishes : (int * float) list;
+  total_ops : float;
+  ipc : float;
+  busy_page_cycles : float;
+  page_utilization : float;
+  transformations : int;
+  stalls : int;
+}
+
+type tstate =
+  | On_cpu of Thread_model.segment list  (* rest after the running cpu phase *)
+  | Waiting of string * int * Thread_model.segment list  (* kernel, iters, rest *)
+  | On_cgra of {
+      mutable iters_left : float;
+      mutable rate : float;  (* cycles per iteration *)
+      mutable pages : int;
+      mutable base : int;  (* first allocated page: a move is a reshape *)
+      mutable last_update : float;
+      rest : Thread_model.segment list;
+    }
+  | Done of float
+
+type thread_rec = {
+  id : int;
+  mutable state : tstate;
+  mutable gen : int;  (* event generation; stale events are ignored *)
+}
+
+let ops_of (b : Binary.t) =
+  List.length
+    (List.filter
+       (fun (n : Cgra_dfg.Graph.node) ->
+         match n.op with Cgra_dfg.Op.Const _ -> false | _ -> true)
+       (Cgra_dfg.Graph.nodes b.graph))
+
+let improvement_percent ~single ~multi =
+  Cgra_util.Stats.improvement_percent ~baseline:single.makespan
+    ~improved:multi.makespan
+
+let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
+  if p.threads = [] then invalid_arg "Os_sim.run: no threads";
+  if reconfig_cost < 0.0 then invalid_arg "Os_sim.run: negative reconfig cost";
+  let binary name =
+    match List.find_opt (fun (b : Binary.t) -> b.name = name) p.suite with
+    | Some b -> b
+    | None -> invalid_arg ("Os_sim.run: unknown kernel " ^ name)
+  in
+  let threads =
+    List.map (fun (t : Thread_model.t) -> { id = t.id; state = Done 0.0; gen = 0 })
+      p.threads
+  in
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace by_id t.id t) threads;
+  let alloc = Allocator.create ~policy ~total_pages:p.total_pages () in
+  let waiters : int Queue.t = Queue.create () in
+  let running_kernel : (int, Binary.t) Hashtbl.t = Hashtbl.create 16 in
+  let cgra_busy_single = ref false in
+  let transformations = ref 0 in
+  let stalls = ref 0 in
+  let busy_page_cycles = ref 0.0 in
+  let total_ops = ref 0.0 in
+  let queue = ref (Cgra_util.Pqueue.empty ~cmp:Float.compare) in
+  let post time tid gen = queue := Cgra_util.Pqueue.push !queue time (tid, gen) in
+  let settle now t =
+    match t.state with
+    | On_cgra k ->
+        let elapsed = now -. k.last_update in
+        if elapsed > 0.0 then begin
+          k.iters_left <- k.iters_left -. (elapsed /. k.rate);
+          busy_page_cycles := !busy_page_cycles +. (elapsed *. float_of_int k.pages);
+          k.last_update <- now
+        end
+    | On_cpu _ | Waiting _ | Done _ -> ()
+  in
+  let reschedule now t =
+    match t.state with
+    | On_cgra k ->
+        t.gen <- t.gen + 1;
+        post (now +. (Float.max 0.0 k.iters_left *. k.rate)) t.id t.gen
+    | On_cpu _ | Waiting _ | Done _ -> ()
+  in
+  let rate_for tid pages =
+    float_of_int (Binary.iteration_cycles (Hashtbl.find running_kernel tid) ~pages)
+  in
+  (* Multi mode: after any allocator change, refresh every running
+     kernel whose allocation moved (a PageMaster shrink or expand). *)
+  let resync now =
+    List.iter
+      (fun t ->
+        match t.state with
+        | On_cgra k -> (
+            match Allocator.allocation alloc ~client:t.id with
+            | Some r when r.Allocator.len <> k.pages || r.Allocator.base <> k.base ->
+                settle now t;
+                k.pages <- r.Allocator.len;
+                k.base <- r.Allocator.base;
+                k.rate <- rate_for t.id r.Allocator.len;
+                incr transformations;
+                (* the kernel makes no progress while being reshaped *)
+                k.last_update <- now +. reconfig_cost;
+                t.gen <- t.gen + 1;
+                post (now +. reconfig_cost +. (Float.max 0.0 k.iters_left *. k.rate))
+                  t.id t.gen
+            | Some _ | None -> ())
+        | On_cpu _ | Waiting _ | Done _ -> ())
+      threads
+  in
+  let rec advance now t segments =
+    match segments with
+    | [] -> t.state <- Done now
+    | Thread_model.Cpu c :: rest ->
+        t.state <- On_cpu rest;
+        t.gen <- t.gen + 1;
+        post (now +. float_of_int c) t.id t.gen
+    | Thread_model.Kernel { kernel; iterations } :: rest ->
+        total_ops := !total_ops +. float_of_int (ops_of (binary kernel) * iterations);
+        start_kernel now t ~kernel ~iterations ~rest
+  and start_kernel now t ~kernel ~iterations ~rest =
+    let b = binary kernel in
+    match p.mode with
+    | Single ->
+        if !cgra_busy_single then begin
+          incr stalls;
+          t.state <- Waiting (kernel, iterations, rest);
+          Queue.add t.id waiters
+        end
+        else begin
+          cgra_busy_single := true;
+          Hashtbl.replace running_kernel t.id b;
+          let rate = float_of_int (Binary.ii_base b) in
+          t.state <-
+            On_cgra
+              { iters_left = float_of_int iterations; rate; pages = p.total_pages;
+                base = 0; last_update = now; rest };
+          t.gen <- t.gen + 1;
+          post (now +. (float_of_int iterations *. rate)) t.id t.gen
+        end
+    | Multi -> (
+        let desired = max 1 (min (Binary.pages_used b) p.total_pages) in
+        Hashtbl.replace running_kernel t.id b;
+        match Allocator.request alloc ~client:t.id ~desired with
+        | None ->
+            Hashtbl.remove running_kernel t.id;
+            incr stalls;
+            t.state <- Waiting (kernel, iterations, rest);
+            Queue.add t.id waiters
+        | Some r ->
+            let shrunk_entry = r.Allocator.len < desired in
+            if shrunk_entry then incr transformations;
+            let entry_cost = if shrunk_entry then reconfig_cost else 0.0 in
+            let rate = rate_for t.id r.Allocator.len in
+            t.state <-
+              On_cgra
+                { iters_left = float_of_int iterations; rate; pages = r.Allocator.len;
+                  base = r.Allocator.base; last_update = now +. entry_cost; rest };
+            t.gen <- t.gen + 1;
+            post (now +. entry_cost +. (float_of_int iterations *. rate)) t.id t.gen;
+            (* the request may have shrunk a victim *)
+            resync now)
+  and try_start_waiter now wid =
+    let w = Hashtbl.find by_id wid in
+    match w.state with
+    | Waiting (kernel, iterations, rest) -> (
+        start_kernel now w ~kernel ~iterations ~rest;
+        match w.state with Waiting _ -> false | _ -> true)
+    | On_cpu _ | On_cgra _ | Done _ -> true (* stale entry; drop it *)
+  and finish_kernel now t rest =
+    (match p.mode with
+    | Single -> (
+        cgra_busy_single := false;
+        Hashtbl.remove running_kernel t.id;
+        match Queue.take_opt waiters with
+        | Some wid -> ignore (try_start_waiter now wid)
+        | None -> ())
+    | Multi ->
+        Allocator.release alloc ~client:t.id;
+        Hashtbl.remove running_kernel t.id;
+        let rec serve () =
+          match Queue.peek_opt waiters with
+          | None -> ()
+          | Some wid ->
+              if try_start_waiter now wid then begin
+                ignore (Queue.take waiters);
+                serve ()
+              end
+        in
+        serve ();
+        ignore (Allocator.expand alloc);
+        resync now);
+    advance now t rest
+  in
+  (* kick off *)
+  List.iter2
+    (fun t (spec : Thread_model.t) -> advance 0.0 t spec.segments)
+    threads p.threads;
+  let rec loop () =
+    match Cgra_util.Pqueue.pop !queue with
+    | None -> ()
+    | Some ((now, (tid, gen)), rest) ->
+        queue := rest;
+        let t = Hashtbl.find by_id tid in
+        if gen = t.gen then begin
+          match t.state with
+          | On_cpu segs -> advance now t segs
+          | On_cgra k ->
+              settle now t;
+              if k.iters_left <= 1e-6 then finish_kernel now t k.rest
+              else reschedule now t
+          | Waiting _ | Done _ -> ()
+        end;
+        loop ()
+  in
+  loop ();
+  let finishes =
+    List.map
+      (fun t ->
+        match t.state with
+        | Done time -> (t.id, time)
+        | On_cpu _ | Waiting _ | On_cgra _ ->
+            invalid_arg "Os_sim.run: deadlock — a thread never finished")
+      threads
+  in
+  let makespan = List.fold_left (fun acc (_, f) -> Float.max acc f) 0.0 finishes in
+  {
+    makespan;
+    finishes;
+    total_ops = !total_ops;
+    ipc = (if makespan > 0.0 then !total_ops /. makespan else 0.0);
+    busy_page_cycles = !busy_page_cycles;
+    page_utilization =
+      (if makespan > 0.0 then
+         !busy_page_cycles /. (makespan *. float_of_int p.total_pages)
+       else 0.0);
+    transformations = !transformations;
+    stalls = !stalls;
+  }

@@ -1,0 +1,51 @@
+(** Discrete-event simulation of the whole system: a multithreaded host
+    processor plus the CGRA accelerator (Section VII-B).
+
+    Threads alternate CPU phases (each thread has its own hardware
+    context, in {e both} modes — the paper deliberately keeps processor
+    multithreading out of the comparison) with CGRA kernel segments.
+
+    - {b Single} mode models today's CGRAs: one kernel at a time,
+      non-preemptive, FIFO queue, unconstrained binaries at [II_b].
+    - {b Multi} mode models the paper's system: paged binaries at
+      [II_c], space-multiplexed through {!Allocator}, shrunk and expanded
+      by the PageMaster transformation (whose runtime the paper — and we —
+      treat as negligible next to the code/data transfer it overlaps).
+
+    A kernel holding [m] of its [N]-page schedule runs one iteration per
+    [II_c * ceil (N/m)] cycles ({!Binary.iteration_cycles}). *)
+
+type mode = Single | Multi
+
+type params = {
+  suite : Binary.t list;
+  threads : Thread_model.t list;
+  total_pages : int;
+  mode : mode;
+}
+
+type result_t = {
+  makespan : float;  (** cycles until the last thread finishes *)
+  finishes : (int * float) list;  (** per-thread completion times *)
+  total_ops : float;  (** kernel micro-ops executed on the CGRA *)
+  ipc : float;  (** [total_ops / makespan] — the paper's throughput metric *)
+  busy_page_cycles : float;  (** integral of allocated pages over time *)
+  page_utilization : float;  (** busy page-cycles / (makespan * pages) *)
+  transformations : int;  (** PageMaster invocations (shrinks + expands) *)
+  stalls : int;  (** kernel requests that had to queue *)
+}
+
+val run : ?policy:Allocator.policy -> ?reconfig_cost:float -> params -> result_t
+(** Raises [Invalid_argument] on unknown kernels or an empty thread
+    list.
+
+    [policy] (default [Halving]) selects the allocator's contention
+    policy.  [reconfig_cost] (default 0) charges that many cycles of
+    stalled progress to a kernel each time PageMaster reshapes it — the
+    paper argues the transformation is negligible next to the overlapped
+    code/data transfer; the ablation benches sweep this to find where the
+    argument would break. *)
+
+val improvement_percent : single:result_t -> multi:result_t -> float
+(** Throughput improvement of Multi over Single:
+    [(makespan_single / makespan_multi - 1) * 100] — Fig. 9's y-axis. *)

@@ -1,0 +1,72 @@
+open Cgra_arch
+open Cgra_mapper
+
+type t = {
+  ii : int;
+  n_pages : int;
+  ops : int list array array;
+  hops : int array array;
+}
+
+let of_mapping (m : Mapping.t) =
+  let n_pages = Mapping.n_pages_used m in
+  let ops = Array.init (max 1 n_pages) (fun _ -> Array.make m.ii []) in
+  let hops = Array.make_matrix (max 1 n_pages) m.ii 0 in
+  Array.iteri
+    (fun v pl ->
+      match pl with
+      | Some (p : Mapping.placement) -> (
+          match Page.page_of_pe m.arch.Cgra.pages p.pe with
+          | Some pg ->
+              let slot = p.time mod m.ii in
+              ops.(pg).(slot) <- v :: ops.(pg).(slot)
+          | None -> ())
+      | None -> ())
+    m.placements;
+  List.iter
+    (fun (r : Mapping.route) ->
+      List.iter
+        (fun (h : Mapping.placement) ->
+          match Page.page_of_pe m.arch.Cgra.pages h.pe with
+          | Some pg ->
+              let slot = h.time mod m.ii in
+              hops.(pg).(slot) <- hops.(pg).(slot) + 1
+          | None -> ())
+        r.hops)
+    m.routes;
+  Array.iter (fun row -> Array.iteri (fun i l -> row.(i) <- List.rev l) row) ops;
+  { ii = m.ii; n_pages; ops; hops }
+
+let slot_empty t ~page ~slot = t.ops.(page).(slot) = [] && t.hops.(page).(slot) = 0
+
+let occupancy t =
+  if t.n_pages = 0 then 0.0
+  else begin
+    let filled = ref 0 in
+    for pg = 0 to t.n_pages - 1 do
+      for s = 0 to t.ii - 1 do
+        if not (slot_empty t ~page:pg ~slot:s) then incr filled
+      done
+    done;
+    float_of_int !filled /. float_of_int (t.n_pages * t.ii)
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "slot";
+  for pg = 0 to t.n_pages - 1 do
+    Format.fprintf ppf "  page%-8d" pg
+  done;
+  Format.pp_print_newline ppf ();
+  for s = 0 to t.ii - 1 do
+    Format.fprintf ppf "%4d" s;
+    for pg = 0 to t.n_pages - 1 do
+      let cell =
+        let ids = String.concat "," (List.map string_of_int t.ops.(pg).(s)) in
+        if t.hops.(pg).(s) > 0 then
+          Printf.sprintf "%s+%dr" ids t.hops.(pg).(s)
+        else ids
+      in
+      Format.fprintf ppf "  %-12s" (if cell = "" then "-" else cell)
+    done;
+    Format.pp_print_newline ppf ()
+  done

@@ -1,0 +1,22 @@
+(** Random workload generation (Section VII-B.1).
+
+    "Each thread is randomly and independently generated, where portions
+    of the thread are either assigned to the processor or the CGRA.  For
+    portions assigned to the CGRA, the schedule that is ran is randomly
+    chosen so as to not create bias towards any one kernel."
+
+    The CGRA-need fraction [f] is enforced in expectation: every kernel
+    segment of full-CGRA cost [c] is preceded by a CPU segment of cost
+    [c * (1-f)/f] (with bounded jitter), so kernel work is [f] of the
+    total.  Generation is deterministic in the seed. *)
+
+val generate :
+  seed:int ->
+  n_threads:int ->
+  cgra_need:float ->
+  suite:Binary.t list ->
+  ?segments_per_thread:int ->
+  unit ->
+  Thread_model.t list
+(** Defaults: 6 kernel segments per thread.  [cgra_need] must be in
+    (0, 1). *)

@@ -1,0 +1,1 @@
+lib/dfg/builder.mli: Graph Op

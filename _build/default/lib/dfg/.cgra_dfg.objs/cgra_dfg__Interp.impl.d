@@ -1,0 +1,1 @@
+lib/dfg/interp.ml: Array Graph List Memory Op

@@ -1,0 +1,1 @@
+lib/dfg/memdep.ml: Array Graph List Op Option

@@ -1,0 +1,1 @@
+lib/dfg/memory.ml: Array Format Fun Hashtbl List String

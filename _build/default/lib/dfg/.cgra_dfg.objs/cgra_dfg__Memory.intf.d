@@ -1,0 +1,1 @@
+lib/dfg/memory.mli: Format

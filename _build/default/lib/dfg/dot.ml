@@ -1,0 +1,20 @@
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (Graph.name g));
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
+  List.iter
+    (fun (n : Graph.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%d: %s\"];\n" n.id n.id (Op.to_string n.op)))
+    (Graph.nodes g);
+  List.iter
+    (fun (e : Graph.edge) ->
+      let attrs =
+        if e.distance > 0 then
+          Printf.sprintf " [style=dashed, label=\"d=%d\"]" e.distance
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" e.src e.dst attrs))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Graphviz export of data-flow graphs, for debugging and documentation
+    (the DFGs of Fig. 2/3 render directly from this). *)
+
+val to_dot : Graph.t -> string
+(** DOT source; loop-carried edges are dashed and labelled with their
+    distance. *)

@@ -1,0 +1,153 @@
+type node = { id : int; op : Op.t }
+
+type edge = { src : int; dst : int; operand : int; distance : int }
+
+type t = {
+  name : string;
+  node_arr : node array;
+  edge_list : edge list;
+  pred_arr : edge list array;  (* sorted by operand *)
+  succ_arr : edge list array;
+  topo : int list;
+}
+
+let name t = t.name
+
+let n_nodes t = Array.length t.node_arr
+
+let node t i = t.node_arr.(i)
+
+let nodes t = Array.to_list t.node_arr
+
+let edges t = t.edge_list
+
+let n_edges t = List.length t.edge_list
+
+let preds t i = t.pred_arr.(i)
+
+let succs t i = t.succ_arr.(i)
+
+let mem_node_count t =
+  Array.fold_left (fun acc n -> if Op.is_mem n.op then acc + 1 else acc) 0 t.node_arr
+
+let max_distance t = List.fold_left (fun acc e -> max acc e.distance) 0 t.edge_list
+
+(* Kahn's algorithm on the zero-distance subgraph; [Error] when cyclic. *)
+let topo_of ~n ~edges =
+  let indeg = Array.make n 0 in
+  let succ0 = Array.make n [] in
+  List.iter
+    (fun e ->
+      if e.distance = 0 then begin
+        indeg.(e.dst) <- indeg.(e.dst) + 1;
+        succ0.(e.src) <- e.dst :: succ0.(e.src)
+      end)
+    edges;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr count;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      succ0.(v)
+  done;
+  if !count = n then Ok (List.rev !order) else Error "zero-distance dependence cycle"
+
+let validate_spec ~name ~ops ~edges =
+  let n = Array.length ops in
+  let err fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "%s: %s" name s)) fmt in
+  let check_edge e =
+    if e.src < 0 || e.src >= n then err "edge source %d out of range" e.src
+    else if e.dst < 0 || e.dst >= n then err "edge target %d out of range" e.dst
+    else if e.distance < 0 then err "negative distance on edge %d->%d" e.src e.dst
+    else if e.operand < 0 || e.operand >= Op.arity ops.(e.dst) then
+      err "operand %d invalid for %s (node %d)" e.operand (Op.to_string ops.(e.dst))
+        e.dst
+    else Ok ()
+  in
+  let rec check_edges = function
+    | [] -> Ok ()
+    | e :: rest -> ( match check_edge e with Ok () -> check_edges rest | e -> e)
+  in
+  let check_operands () =
+    let seen = Hashtbl.create 64 in
+    let dup =
+      List.find_opt
+        (fun e ->
+          let key = (e.dst, e.operand) in
+          if Hashtbl.mem seen key then true
+          else begin
+            Hashtbl.add seen key ();
+            false
+          end)
+        edges
+    in
+    match dup with
+    | Some e -> err "duplicate operand %d at node %d" e.operand e.dst
+    | None ->
+        let missing = ref None in
+        Array.iteri
+          (fun i op ->
+            for k = 0 to Op.arity op - 1 do
+              if (not (Hashtbl.mem seen (i, k))) && !missing = None then
+                missing := Some (i, k)
+            done)
+          ops;
+        (match !missing with
+        | Some (i, k) ->
+            err "node %d (%s) missing operand %d" i (Op.to_string ops.(i)) k
+        | None -> Ok ())
+  in
+  match check_edges edges with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_operands () with
+      | Error _ as e -> e
+      | Ok () -> (
+          match topo_of ~n ~edges with
+          | Error msg -> err "%s" msg
+          | Ok _ -> Ok ()))
+
+let create ~name ~ops ~edges =
+  let ops = Array.of_list ops in
+  let edge_list =
+    List.map (fun (src, dst, operand, distance) -> { src; dst; operand; distance }) edges
+  in
+  (match validate_spec ~name ~ops ~edges:edge_list with
+  | Error msg -> invalid_arg ("Graph.create: " ^ msg)
+  | Ok () -> ());
+  let n = Array.length ops in
+  let node_arr = Array.init n (fun id -> { id; op = ops.(id) }) in
+  let pred_arr = Array.make n [] in
+  let succ_arr = Array.make n [] in
+  List.iter
+    (fun e ->
+      pred_arr.(e.dst) <- e :: pred_arr.(e.dst);
+      succ_arr.(e.src) <- e :: succ_arr.(e.src))
+    edge_list;
+  Array.iteri
+    (fun i l -> pred_arr.(i) <- List.sort (fun a b -> compare a.operand b.operand) l)
+    pred_arr;
+  let topo =
+    match topo_of ~n ~edges:edge_list with Ok o -> o | Error _ -> assert false
+  in
+  { name; node_arr; edge_list; pred_arr; succ_arr; topo }
+
+let topo_order t = t.topo
+
+let equal_structure a b =
+  Array.length a.node_arr = Array.length b.node_arr
+  && Array.for_all2 (fun x y -> Op.equal x.op y.op) a.node_arr b.node_arr
+  && List.sort compare a.edge_list = List.sort compare b.edge_list
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d ops, %d edges, %d mem" t.name (n_nodes t) (n_edges t)
+    (mem_node_count t)

@@ -1,0 +1,22 @@
+let run_history g mem ~iterations =
+  if iterations < 0 then invalid_arg "Interp.run: negative iteration count";
+  let n = Graph.n_nodes g in
+  let order = Graph.topo_order g in
+  let values = Array.init iterations (fun _ -> Array.make n 0) in
+  let value ~iter v = if iter < 0 then 0 else values.(iter).(v) in
+  let load = Memory.load mem in
+  let store = Memory.store mem in
+  for iter = 0 to iterations - 1 do
+    List.iter
+      (fun v ->
+        let args =
+          List.map
+            (fun (e : Graph.edge) -> value ~iter:(iter - e.distance) e.src)
+            (Graph.preds g v)
+        in
+        values.(iter).(v) <- Op.eval (Graph.node g v).op ~iter ~load ~store args)
+      order
+  done;
+  values
+
+let run g mem ~iterations = ignore (run_history g mem ~iterations)

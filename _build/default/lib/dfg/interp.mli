@@ -1,0 +1,13 @@
+(** Reference interpreter: executes a kernel sequentially, iteration by
+    iteration, with no notion of the CGRA.  The cycle-accurate simulator's
+    results are validated against this oracle. *)
+
+val run : Graph.t -> Memory.t -> iterations:int -> unit
+(** Executes [iterations] loop iterations, mutating the memory
+    environment.  Loop-carried inputs read the value produced [distance]
+    iterations earlier; before the loop starts these read as 0. *)
+
+val run_history : Graph.t -> Memory.t -> iterations:int -> int array array
+(** Like {!run} but also returns [values] with [values.(i).(v)] the result
+    of node [v] in iteration [i] — the oracle stream the simulator checker
+    compares against. *)

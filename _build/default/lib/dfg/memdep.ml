@@ -1,0 +1,85 @@
+type t = { src : int; dst : int; distance : int }
+
+type access =
+  | Affine of { array : string; offset : int; stride : int; store : bool }
+  | Dynamic of { array : string; store : bool }
+
+let access_of (op : Op.t) =
+  match op with
+  | Op.Load { array; offset; stride } -> Some (Affine { array; offset; stride; store = false })
+  | Op.Store { array; offset; stride } -> Some (Affine { array; offset; stride; store = true })
+  | Op.Load_idx { array } -> Some (Dynamic { array; store = false })
+  | Op.Store_idx { array } -> Some (Dynamic { array; store = true })
+  | Op.Const _ | Op.Iter | Op.Add | Op.Sub | Op.Mul | Op.Shl | Op.Shr | Op.And
+  | Op.Or | Op.Xor | Op.Min | Op.Max | Op.Abs | Op.Neg | Op.Cmp _ | Op.Select
+  | Op.Clamp8 | Op.Route ->
+      None
+
+let array_of = function Affine a -> a.array | Dynamic d -> d.array
+
+let is_store = function Affine a -> a.store | Dynamic d -> d.store
+
+(* Constraints for one conflicting pair, given the topological positions
+   used by the reference interpreter.  [pos a < pos b] means [a] executes
+   first within an iteration. *)
+let always_conflict ~a ~b ~pos =
+  (* Conflicts at every iteration distance; it suffices to order the
+     same-iteration pair both ways:
+     - same iteration: earlier-in-topo first (distance 0), and
+     - consecutive iterations: the later one must finish before the
+       earlier node's next instance (distance 1 the other way).
+     Larger distances follow because the schedule repeats every II. *)
+  let first, second = if pos a < pos b then (a, b) else (b, a) in
+  [ { src = first; dst = second; distance = 0 };
+    { src = second; dst = first; distance = 1 } ]
+
+let affine_pair ~a ~b ~(pa : int * int) ~(pb : int * int) ~pos =
+  let oa, sa = pa and ob, sb = pb in
+  if sa = sb && sa <> 0 then begin
+    (* a's instance i and b's instance j touch the same address when
+       sa*i + oa = sb*j + ob, i.e. j - i = (oa - ob) / sa. *)
+    if (oa - ob) mod sa <> 0 then []
+    else
+      let k = (oa - ob) / sa in
+      if k > 0 then [ { src = a; dst = b; distance = k } ]
+      else if k < 0 then [ { src = b; dst = a; distance = -k } ]
+      else
+        let first, second = if pos a < pos b then (a, b) else (b, a) in
+        [ { src = first; dst = second; distance = 0 } ]
+  end
+  else if sa = 0 && sb = 0 then
+    if oa = ob then always_conflict ~a ~b ~pos else []
+  else
+    (* Mixed or zero/non-zero strides: conflicts at irregular distances;
+       be conservative. *)
+    always_conflict ~a ~b ~pos
+
+let ordering g =
+  let pos = Array.make (Graph.n_nodes g) 0 in
+  List.iteri (fun i v -> pos.(v) <- i) (Graph.topo_order g);
+  let pos v = pos.(v) in
+  let accesses =
+    List.filter_map
+      (fun (n : Graph.node) -> Option.map (fun a -> (n.id, a)) (access_of n.op))
+      (Graph.nodes g)
+  in
+  let rec pairs = function
+    | [] -> []
+    | (a, acc_a) :: rest ->
+        List.concat_map
+          (fun (b, acc_b) ->
+            if array_of acc_a <> array_of acc_b then []
+            else if (not (is_store acc_a)) && not (is_store acc_b) then []
+            else
+              match (acc_a, acc_b) with
+              | Affine x, Affine y ->
+                  affine_pair ~a ~b ~pa:(x.offset, x.stride) ~pb:(y.offset, y.stride)
+                    ~pos
+              | Dynamic _, (Affine _ | Dynamic _) | Affine _, Dynamic _ ->
+                  always_conflict ~a ~b ~pos)
+          rest
+        @ pairs rest
+  in
+  pairs accesses
+
+let as_edge_triples l = List.map (fun { src; dst; distance } -> (src, dst, distance)) l

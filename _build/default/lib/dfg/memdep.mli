@@ -1,0 +1,29 @@
+(** Memory dependence analysis over the kernel's affine accesses.
+
+    The reference semantics of a kernel is the interpreter's: iterations
+    execute one after another, each in topological order.  A software
+    pipeline overlaps iterations, so conflicting memory accesses (same
+    array, same address, at least one store) must keep their sequential
+    order — classic loop-carried memory dependences.
+
+    Accesses with affine addresses ([stride * i + offset]) are solved
+    exactly; dynamic-index accesses ([Load_idx]/[Store_idx]) and
+    incommensurate stride pairs are handled conservatively (assumed to
+    conflict in every iteration pair). *)
+
+type t = {
+  src : int;
+  dst : int;
+  distance : int;
+      (** instance [(dst, i)] must execute strictly after [(src, i -
+          distance)] — the same timing form as a data edge, with no
+          operand transfer *)
+}
+
+val ordering : Graph.t -> t list
+(** All ordering constraints of the kernel.  Pairs of loads never
+    constrain; a memory op never constrains itself (its instances are
+    already strictly ordered by the modulo schedule). *)
+
+val as_edge_triples : t list -> (int * int * int) list
+(** [(src, dst, distance)] view for {!Analysis.rec_mii_with}. *)

@@ -1,0 +1,129 @@
+type cmp = Lt | Le | Eq | Ne | Gt | Ge
+
+type t =
+  | Const of int
+  | Iter
+  | Add
+  | Sub
+  | Mul
+  | Shl
+  | Shr
+  | And
+  | Or
+  | Xor
+  | Min
+  | Max
+  | Abs
+  | Neg
+  | Cmp of cmp
+  | Select
+  | Clamp8
+  | Load of { array : string; offset : int; stride : int }
+  | Load_idx of { array : string }
+  | Store of { array : string; offset : int; stride : int }
+  | Store_idx of { array : string }
+  | Route
+
+let arity = function
+  | Const _ | Iter | Load _ -> 0
+  | Abs | Neg | Clamp8 | Load_idx _ | Store _ | Route -> 1
+  | Add | Sub | Mul | Shl | Shr | And | Or | Xor | Min | Max | Cmp _ | Store_idx _ -> 2
+  | Select -> 3
+
+let is_mem = function
+  | Load _ | Load_idx _ | Store _ | Store_idx _ -> true
+  | Const _ | Iter | Add | Sub | Mul | Shl | Shr | And | Or | Xor | Min | Max | Abs
+  | Neg | Cmp _ | Select | Clamp8 | Route ->
+      false
+
+let is_store = function
+  | Store _ | Store_idx _ -> true
+  | Load _ | Load_idx _ | Const _ | Iter | Add | Sub | Mul | Shl | Shr | And | Or
+  | Xor | Min | Max | Abs | Neg | Cmp _ | Select | Clamp8 | Route ->
+      false
+
+let array_of = function
+  | Load { array; _ } | Load_idx { array } | Store { array; _ } | Store_idx { array } ->
+      Some array
+  | Const _ | Iter | Add | Sub | Mul | Shl | Shr | And | Or | Xor | Min | Max | Abs
+  | Neg | Cmp _ | Select | Clamp8 | Route ->
+      None
+
+let eval_cmp c a b =
+  let holds =
+    match c with
+    | Lt -> a < b
+    | Le -> a <= b
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if holds then 1 else 0
+
+let eval op ~iter ~load ~store args =
+  let bad () = invalid_arg "Op.eval: arity mismatch" in
+  let one () = match args with [ a ] -> a | _ -> bad () in
+  let two () = match args with [ a; b ] -> (a, b) | _ -> bad () in
+  match op with
+  | Const k -> if args = [] then k else bad ()
+  | Iter -> if args = [] then iter else bad ()
+  | Add -> let a, b = two () in a + b
+  | Sub -> let a, b = two () in a - b
+  | Mul -> let a, b = two () in a * b
+  | Shl -> let a, b = two () in a lsl (b land 63)
+  | Shr -> let a, b = two () in a asr (b land 63)
+  | And -> let a, b = two () in a land b
+  | Or -> let a, b = two () in a lor b
+  | Xor -> let a, b = two () in a lxor b
+  | Min -> let a, b = two () in min a b
+  | Max -> let a, b = two () in max a b
+  | Abs -> abs (one ())
+  | Neg -> -one ()
+  | Cmp c -> let a, b = two () in eval_cmp c a b
+  | Select -> (
+      match args with [ cond; a; b ] -> if cond <> 0 then a else b | _ -> bad ())
+  | Clamp8 -> max 0 (min 255 (one ()))
+  | Load { array; offset; stride } ->
+      if args = [] then load array ((stride * iter) + offset) else bad ()
+  | Load_idx { array } -> load array (one ())
+  | Store { array; offset; stride } ->
+      let v = one () in
+      store array ((stride * iter) + offset) v;
+      v
+  | Store_idx { array } ->
+      let i, v = two () in
+      store array i v;
+      v
+  | Route -> one ()
+
+let equal a b = a = b
+
+let cmp_to_string = function
+  | Lt -> "lt" | Le -> "le" | Eq -> "eq" | Ne -> "ne" | Gt -> "gt" | Ge -> "ge"
+
+let to_string = function
+  | Const k -> Printf.sprintf "const %d" k
+  | Iter -> "iter"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Min -> "min"
+  | Max -> "max"
+  | Abs -> "abs"
+  | Neg -> "neg"
+  | Cmp c -> "cmp." ^ cmp_to_string c
+  | Select -> "select"
+  | Clamp8 -> "clamp8"
+  | Load { array; offset; stride } -> Printf.sprintf "ld %s[%di%+d]" array stride offset
+  | Load_idx { array } -> Printf.sprintf "ldx %s" array
+  | Store { array; offset; stride } -> Printf.sprintf "st %s[%di%+d]" array stride offset
+  | Store_idx { array } -> Printf.sprintf "stx %s" array
+  | Route -> "route"
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)

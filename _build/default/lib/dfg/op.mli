@@ -1,0 +1,66 @@
+(** Micro-operations of a loop-kernel data-flow graph.
+
+    Each DFG vertex executes one of these per loop iteration on a PE
+    (Fig. 2 of the paper: loads, a store, and arithmetic/logic in an MPEG2
+    kernel).  Every operation has unit latency, matching the single-cycle
+    ALU model of the target fabric.
+
+    Memory operations address named arrays with an affine function of the
+    iteration index ([stride * i + offset]) plus, for the [*_idx]
+    variants, a dynamically computed index input — enough to express the
+    streaming and table-lookup access patterns of the benchmark suite. *)
+
+type cmp = Lt | Le | Eq | Ne | Gt | Ge
+
+type t =
+  | Const of int  (** loop-invariant constant; no inputs *)
+  | Iter  (** current iteration index; no inputs *)
+  | Add
+  | Sub
+  | Mul
+  | Shl
+  | Shr  (** arithmetic shift right *)
+  | And
+  | Or
+  | Xor
+  | Min
+  | Max
+  | Abs  (** one input *)
+  | Neg  (** one input *)
+  | Cmp of cmp  (** 1 when the comparison holds, else 0 *)
+  | Select  (** inputs [cond; a; b]: [a] when [cond <> 0], else [b] *)
+  | Clamp8  (** one input, clamped to the pixel range [0, 255] *)
+  | Load of { array : string; offset : int; stride : int }
+      (** no inputs; reads [array.(stride*i + offset)] (wrapped) *)
+  | Load_idx of { array : string }  (** one input: the index (wrapped) *)
+  | Store of { array : string; offset : int; stride : int }
+      (** one input: the value to write *)
+  | Store_idx of { array : string }  (** inputs [index; value] *)
+  | Route  (** identity; inserted by the mapper to route data through a PE *)
+
+val arity : t -> int
+(** Number of data inputs. *)
+
+val is_mem : t -> bool
+(** True for loads and stores (these occupy a memory port on the PE's row
+    bus). *)
+
+val is_store : t -> bool
+
+val array_of : t -> string option
+(** The array a memory operation touches. *)
+
+val eval : t -> iter:int -> load:(string -> int -> int) -> store:(string -> int -> int -> unit)
+  -> int list -> int
+(** [eval op ~iter ~load ~store args] computes the op's result for
+    iteration [iter].  [load a i]/[store a i v] access the memory
+    environment; index wrapping is the environment's concern.  Stores
+    return the stored value (so routing a store's "output" is
+    well-defined even though nothing consumes it).
+    Raises [Invalid_argument] if [args] does not match {!arity}. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/isa/config.ml: Array Cgra Cgra_arch Cgra_dfg Cgra_mapper Coord Format Graph Grid Hashtbl List Mapping Op Printf Regalloc

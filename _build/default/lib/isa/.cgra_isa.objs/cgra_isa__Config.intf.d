@@ -1,0 +1,1 @@
+lib/isa/config.mli: Cgra_arch Cgra_dfg Cgra_mapper Format

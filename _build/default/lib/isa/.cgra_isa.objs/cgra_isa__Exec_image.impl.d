@@ -1,0 +1,1 @@
+lib/isa/exec_image.ml: Array Cgra_arch Cgra_dfg Cgra_mapper Config Coord Interp List Memory Op Printf

@@ -1,0 +1,1 @@
+lib/isa/exec_image.mli: Cgra_dfg Cgra_mapper Config

@@ -1,0 +1,1 @@
+lib/isa/regalloc.ml: Cgra Cgra_arch Cgra_mapper Coord Grid Hashtbl List Mapping Option Printf

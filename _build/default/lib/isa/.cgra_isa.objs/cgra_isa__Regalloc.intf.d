@@ -1,0 +1,1 @@
+lib/isa/regalloc.mli: Cgra_arch Cgra_mapper Hashtbl

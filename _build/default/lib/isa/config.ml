@@ -1,0 +1,204 @@
+open Cgra_arch
+open Cgra_dfg
+open Cgra_mapper
+
+type src =
+  | Imm of int
+  | Self of int
+  | Neigh of Coord.dir * int
+
+type operand = {
+  sel : src;
+  valid_from : int;
+      (* iteration before which the operand reads as zero: loop-carried
+         inputs have no producer instance during the prologue (the staged
+         predication of real fabrics) *)
+}
+
+type context = {
+  op : Op.t;
+  srcs : operand list;
+  dst : int option;
+  stage : int;
+  debug_node : int option;
+}
+
+type t = {
+  ii : int;
+  rows : int;
+  cols : int;
+  reg_capacity : int;
+  contexts : context option array array;
+}
+
+
+let dir_from ~reader ~holder =
+  if Coord.equal reader holder then None
+  else
+    List.find_opt (fun d -> Coord.equal (Coord.step reader d) holder) Coord.all_dirs
+
+let encode (m : Mapping.t) =
+  match Regalloc.allocate m with
+  | Error e -> Error e
+  | Ok ra -> (
+      let g = m.Mapping.graph in
+      let grid = m.Mapping.arch.Cgra.grid in
+      let contexts =
+        Array.make_matrix (Grid.pe_count grid) m.Mapping.ii None
+      in
+      let routes_by_edge = Hashtbl.create 16 in
+      List.iter
+        (fun (r : Mapping.route) ->
+          Hashtbl.replace routes_by_edge
+            (r.edge.Graph.src, r.edge.Graph.dst, r.edge.Graph.operand)
+            r)
+        m.Mapping.routes;
+      let holder_of (e : Graph.edge) =
+        match Hashtbl.find_opt routes_by_edge (e.src, e.dst, e.operand) with
+        | Some r when r.hops <> [] ->
+            let last = List.length r.hops - 1 in
+            (List.nth r.hops last, Mapping.Relayed (e, last))
+        | Some _ | None -> (Mapping.placement_exn m e.src, Mapping.Produced e.src)
+      in
+      let error = ref None in
+      let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+      let operand_for ~(reader : Mapping.placement) ~read_time (e : Graph.edge) =
+        match (Graph.node g e.src).op with
+        | Op.Const k -> { sel = Imm k; valid_from = 0 }
+        | _ ->
+            let holder, key = holder_of e in
+            let logical =
+              Regalloc.logical_for_read ra ~ii:m.Mapping.ii
+                ~holder_born:holder.Mapping.time ~read_time key
+            in
+            (match logical with
+            | None ->
+                fail "no register for operand %d of node %d" e.operand e.dst;
+                { sel = Imm 0; valid_from = 0 }
+            | Some r -> (
+                if Coord.equal reader.Mapping.pe holder.Mapping.pe then
+                  { sel = Self r; valid_from = e.distance }
+                else
+                  match dir_from ~reader:reader.Mapping.pe ~holder:holder.Mapping.pe with
+                  | Some d -> { sel = Neigh (d, r); valid_from = e.distance }
+                  | None ->
+                      fail "operand of node %d out of reach" e.dst;
+                      { sel = Imm 0; valid_from = 0 }))
+      in
+      let put (p : Mapping.placement) ctx =
+        let idx = Grid.index grid p.pe in
+        let slot = p.time mod m.Mapping.ii in
+        match contexts.(idx).(slot) with
+        | Some _ -> fail "context clash at %s slot %d" (Coord.to_string p.pe) slot
+        | None -> contexts.(idx).(slot) <- Some ctx
+      in
+      (* operation contexts *)
+      Array.iteri
+        (fun v pl ->
+          match pl with
+          | None -> ()
+          | Some (p : Mapping.placement) ->
+              let srcs =
+                List.map
+                  (fun (e : Graph.edge) ->
+                    operand_for ~reader:p
+                      ~read_time:(p.time + (e.distance * m.Mapping.ii))
+                      e)
+                  (Graph.preds g v)
+              in
+              put p
+                {
+                  op = (Graph.node g v).op;
+                  srcs;
+                  dst = Regalloc.offset ra (Mapping.Produced v);
+                  stage = p.time / m.Mapping.ii;
+                  debug_node = Some v;
+                })
+        m.Mapping.placements;
+      (* routing contexts *)
+      List.iter
+        (fun (r : Mapping.route) ->
+          let e = r.edge in
+          List.iteri
+            (fun j (h : Mapping.placement) ->
+              let holder, key =
+                if j = 0 then (Mapping.placement_exn m e.Graph.src, Mapping.Produced e.Graph.src)
+                else (List.nth r.hops (j - 1), Mapping.Relayed (e, j - 1))
+              in
+              let sel =
+                match
+                  Regalloc.logical_for_read ra ~ii:m.Mapping.ii
+                    ~holder_born:holder.Mapping.time ~read_time:h.time key
+                with
+                | None ->
+                    fail "no register feeding hop %d of edge %d->%d" j e.Graph.src
+                      e.Graph.dst;
+                    Imm 0
+                | Some reg -> (
+                    if Coord.equal h.pe holder.Mapping.pe then Self reg
+                    else
+                      match dir_from ~reader:h.pe ~holder:holder.Mapping.pe with
+                      | Some d -> Neigh (d, reg)
+                      | None ->
+                          fail "hop %d of edge %d->%d out of reach" j e.Graph.src
+                            e.Graph.dst;
+                          Imm 0)
+              in
+              put h
+                {
+                  op = Op.Route;
+                  srcs = [ { sel; valid_from = 0 } ];
+                  dst = Regalloc.offset ra (Mapping.Relayed (e, j));
+                  stage = h.time / m.Mapping.ii;
+                  debug_node = None;
+                })
+            r.hops)
+        m.Mapping.routes;
+      match !error with
+      | Some e -> Error e
+      | None ->
+          Ok
+            {
+              ii = m.Mapping.ii;
+              rows = grid.Grid.rows;
+              cols = grid.Grid.cols;
+              reg_capacity = ra.Regalloc.capacity;
+              contexts;
+            })
+
+
+let context_count t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun a c -> match c with Some _ -> a + 1 | None -> a) acc row)
+    0 t.contexts
+
+let words t = Array.length t.contexts * t.ii
+
+let pp_src ppf = function
+  | Imm k -> Format.fprintf ppf "#%d" k
+  | Self r -> Format.fprintf ppf "r%d" r
+  | Neigh (d, r) -> Format.fprintf ppf "%a.r%d" Coord.pp_dir d r
+
+let pp ppf t =
+  Array.iteri
+    (fun idx row ->
+      Array.iteri
+        (fun slot c ->
+          match c with
+          | None -> ()
+          | Some ctx ->
+              let row_i = idx / t.cols and col = idx mod t.cols in
+              Format.fprintf ppf "PE(%d,%d) slot %d stage %d: %a" row_i col slot
+                ctx.stage Op.pp ctx.op;
+              List.iteri
+                (fun i (o : operand) ->
+                  Format.fprintf ppf "%s%a" (if i = 0 then " " else ", ") pp_src o.sel;
+                  if o.valid_from > 0 then Format.fprintf ppf "[d%d]" o.valid_from)
+                ctx.srcs;
+              (match ctx.dst with
+              | Some r -> Format.fprintf ppf " -> r%d" r
+              | None -> ());
+              Format.pp_print_newline ppf ())
+        row)
+    t.contexts

@@ -1,0 +1,94 @@
+open Cgra_arch
+open Cgra_dfg
+
+type report = {
+  cycles : int;
+  fired : int;
+  squashed : int;
+}
+
+let run (img : Config.t) mem ~iterations =
+  if iterations < 0 then invalid_arg "Exec_image.run: negative iterations";
+  let n_pes = img.Config.rows * img.Config.cols in
+  let regs = Array.init n_pes (fun _ -> Array.make img.Config.reg_capacity 0) in
+  let fired = ref 0 and squashed = ref 0 in
+  (* the deepest pipeline stage bounds the epilogue *)
+  let max_stage =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun a c ->
+            match c with Some (ctx : Config.context) -> max a ctx.Config.stage | None -> a)
+          acc row)
+      0 img.Config.contexts
+  in
+  let last_cycle =
+    if iterations = 0 then -1
+    else (((iterations - 1) + max_stage) * img.Config.ii) + img.Config.ii - 1
+  in
+  let neighbor idx d =
+    let row = idx / img.Config.cols and col = idx mod img.Config.cols in
+    let c = Coord.step (Coord.make ~row ~col) d in
+    if
+      c.Coord.row >= 0 && c.Coord.row < img.Config.rows && c.Coord.col >= 0
+      && c.Coord.col < img.Config.cols
+    then Some ((c.Coord.row * img.Config.cols) + c.Coord.col)
+    else None
+  in
+  for cycle = 0 to last_cycle do
+    let slot = cycle mod img.Config.ii in
+    let rotation = cycle / img.Config.ii in
+    let phys r = (r + rotation) mod img.Config.reg_capacity in
+    (* phase 1: decode and compute against the current register state *)
+    let writes = ref [] in
+    let stores = ref [] in
+    for idx = 0 to n_pes - 1 do
+      match img.Config.contexts.(idx).(slot) with
+      | None -> ()
+      | Some ctx ->
+          let iter = rotation - ctx.Config.stage in
+          if iter < 0 || iter >= iterations then incr squashed
+          else begin
+            incr fired;
+            let read (o : Config.operand) =
+              if iter < o.Config.valid_from then 0
+              else
+                match o.Config.sel with
+                | Config.Imm k -> k
+                | Config.Self r -> regs.(idx).(phys r)
+                | Config.Neigh (d, r) -> (
+                    match neighbor idx d with
+                    | Some n -> regs.(n).(phys r)
+                    | None -> 0)
+            in
+            let args = List.map read ctx.Config.srcs in
+            let load a i = Memory.load mem a i in
+            let store a i v = stores := (a, i, v) :: !stores in
+            let result = Op.eval ctx.Config.op ~iter ~load ~store args in
+            match ctx.Config.dst with
+            | Some r -> writes := (idx, phys r, result) :: !writes
+            | None -> ()
+          end
+    done;
+    (* phase 2: commit *)
+    List.iter (fun (idx, r, v) -> regs.(idx).(r) <- v) !writes;
+    List.iter (fun (a, i, v) -> Memory.store mem a i v) !stores
+  done;
+  { cycles = last_cycle + 1; fired = !fired; squashed = !squashed }
+
+let check (m : Cgra_mapper.Mapping.t) init ~iterations =
+  match Config.encode m with
+  | Error e -> Error [ e ]
+  | Ok img ->
+      let mem_isa = Memory.copy init in
+      let mem_ref = Memory.copy init in
+      let report = run img mem_isa ~iterations in
+      Interp.run m.Cgra_mapper.Mapping.graph mem_ref ~iterations;
+      let diffs = Memory.diff mem_isa mem_ref in
+      if diffs = [] then Ok report
+      else
+        Error
+          (List.map
+             (fun (a, i, isa, oracle) ->
+               Printf.sprintf "memory %s[%d]: image %d, oracle %d" a i isa oracle)
+             diffs)

@@ -1,0 +1,25 @@
+(** Execution of configuration images — a decoder-level machine with no
+    access to the mapping or the DFG: per-PE instruction memories, physical
+    rotating register files, the mesh, and data memory are all it has.
+
+    Running an image and matching the sequential interpreter's final
+    memory proves the configuration encoding is self-contained: placement,
+    routing, register rotation, operand steering, stage predication, and
+    addressing all survived the lowering. *)
+
+type report = {
+  cycles : int;
+  fired : int;  (** context executions (operations + routing) *)
+  squashed : int;  (** stage-predicated executions (prologue/epilogue) *)
+}
+
+val run : Config.t -> Cgra_dfg.Memory.t -> iterations:int -> report
+(** Executes [iterations] loop iterations, mutating the memory.  Each
+    cycle is two-phase (all reads see the previous cycle's state), like
+    the synchronous fabric it models. *)
+
+val check :
+  Cgra_mapper.Mapping.t -> Cgra_dfg.Memory.t -> iterations:int ->
+  (report, string list) result
+(** Encode the mapping, run the image, and compare the final memory with
+    the interpreter's on an independent copy. *)

@@ -1,0 +1,100 @@
+open Cgra_arch
+open Cgra_mapper
+
+type value = {
+  key : Mapping.value_key;
+  pe : Coord.t;
+  born : int;
+  last : int;
+}
+
+type t = {
+  capacity : int;
+  offsets : (Mapping.value_key, int) Hashtbl.t;
+  values : value list;
+}
+
+let values_of_mapping (m : Mapping.t) =
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun (tr : Mapping.transfer) ->
+      let prev =
+        match Hashtbl.find_opt acc tr.key with
+        | Some v -> v
+        | None ->
+            { key = tr.key; pe = tr.holder.Mapping.pe; born = tr.holder.Mapping.time;
+              last = tr.holder.Mapping.time }
+      in
+      Hashtbl.replace acc tr.key { prev with last = max prev.last tr.read_time })
+    (Mapping.transfers m);
+  Hashtbl.fold (fun _ v vs -> v :: vs) acc []
+  |> List.sort (fun a b -> compare (a.born, a.key) (b.born, b.key))
+
+(* Do values [u] (at offset [ou]) and [v] (at offset [ov]) of the same PE
+   ever share a physical register while both live?  With rotation, u's
+   instance shifted by k iterations occupies physical
+   (ou + born_u/ii + k + i) and v's (ov + born_v/ii + i); congruence plus
+   overlap of [born_u + k*ii, last_u + k*ii] with [born_v, last_v]. *)
+let conflict ~ii ~capacity (u : value) ou (v : value) ov =
+  let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+  (* safely wide shift range; [overlap] filters exactly *)
+  let k_lo = fdiv (v.born - u.last) ii - 1 in
+  let k_hi = fdiv (v.last - u.born) ii + 1 in
+  let su = u.born / ii and sv = v.born / ii in
+  let congruent k = (ou + su + k - (ov + sv)) mod capacity = 0 in
+  let overlap k = u.born + (k * ii) <= v.last && v.born <= u.last + (k * ii) in
+  let rec go k = k <= k_hi && ((congruent k && overlap k) || go (k + 1)) in
+  go k_lo
+
+let allocate (m : Mapping.t) =
+  let capacity = m.Mapping.arch.Cgra.rf_capacity in
+  let values = values_of_mapping m in
+  let by_pe = Hashtbl.create 16 in
+  let offsets = Hashtbl.create 64 in
+  let rec place = function
+    | [] -> Ok { capacity; offsets; values }
+    | v :: rest ->
+        let idx = Grid.index m.Mapping.arch.Cgra.grid v.pe in
+        let placed = Option.value ~default:[] (Hashtbl.find_opt by_pe idx) in
+        let fits o =
+          not
+            (List.exists
+               (fun (u, ou) ->
+                 conflict ~ii:m.Mapping.ii ~capacity u ou v o
+                 || conflict ~ii:m.Mapping.ii ~capacity v o u ou)
+               placed)
+        in
+        let rec first_fit o =
+          if o >= capacity then None else if fits o then Some o else first_fit (o + 1)
+        in
+        (match first_fit 0 with
+        | Some o ->
+            Hashtbl.replace offsets v.key o;
+            Hashtbl.replace by_pe idx ((v, o) :: placed);
+            place rest
+        | None ->
+            Error
+              (Printf.sprintf "Regalloc: PE %s needs more than %d rotating registers"
+                 (Coord.to_string v.pe) capacity))
+  in
+  place values
+
+let offset t key = Hashtbl.find_opt t.offsets key
+
+let logical_for_read t ~ii ~holder_born ~read_time key =
+  match offset t key with
+  | None -> None
+  | Some o ->
+      let k = (read_time / ii) - (holder_born / ii) in
+      let r = (o - k) mod t.capacity in
+      Some (if r < 0 then r + t.capacity else r)
+
+let pressure t =
+  let by_pe = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt by_pe v.pe) in
+      Hashtbl.replace by_pe v.pe (n + 1))
+    t.values;
+  Hashtbl.fold (fun pe n acc -> (pe, n) :: acc) by_pe []
+  |> List.sort (fun (a, _) (b, _) -> Coord.compare a b)

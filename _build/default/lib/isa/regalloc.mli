@@ -1,0 +1,50 @@
+(** Rotating register allocation (Rau et al., PLDI'92 — the paper's
+    reference [10] for why rotating files are essential to modulo
+    scheduling).
+
+    Each PE's register file rotates once per II: the physical register
+    behind logical name [r] at cycle [c] is [(r + c/II) mod capacity].
+    Successive iterations of the same value therefore land in successive
+    physical registers and never clobber each other, provided each value
+    gets a logical {e offset} such that no two simultaneously live value
+    instances share a physical register.
+
+    A value born at time [b] (holder's frame) with last read at time [e]
+    conflicts with another value of the same PE at relative iteration
+    shift [k] iff their offset/stage congruence matches modulo the
+    capacity and the shifted live ranges overlap; the allocator checks
+    exactly that finite set of shifts and assigns first-fit offsets. *)
+
+type value = {
+  key : Cgra_mapper.Mapping.value_key;
+  pe : Cgra_arch.Coord.t;
+  born : int;
+  last : int;  (** last read, in the holder's frame; [>= born] *)
+}
+
+type t = {
+  capacity : int;
+  offsets : (Cgra_mapper.Mapping.value_key, int) Hashtbl.t;
+  values : value list;
+}
+
+val values_of_mapping : Cgra_mapper.Mapping.t -> value list
+(** One entry per produced or relayed value that is actually read.
+    Values with no readers (e.g. an unconsumed store result) need no
+    register and are omitted. *)
+
+val allocate : Cgra_mapper.Mapping.t -> (t, string) result
+(** First-fit offsets within the architecture's register-file capacity.
+    Errors name the PE that overflows. *)
+
+val offset : t -> Cgra_mapper.Mapping.value_key -> int option
+
+val logical_for_read :
+  t -> ii:int -> holder_born:int -> read_time:int ->
+  Cgra_mapper.Mapping.value_key -> int option
+(** The logical register a consumer must name to see the value: the
+    holder's offset corrected by the stage difference
+    [(born/ii) - (read_time/ii)] modulo the capacity. *)
+
+val pressure : t -> (Cgra_arch.Coord.t * int) list
+(** Offsets in use per PE (a lower bound on the file size needed). *)

@@ -1,0 +1,1 @@
+lib/kernels/kernels.ml: Array Builder Cgra_dfg Cgra_util Graph List Memory Op Set String

@@ -1,0 +1,1 @@
+lib/kernels/synthetic.ml: Array Builder Cgra_dfg Cgra_util Graph List Memory Op Printf Set String

@@ -1,0 +1,1 @@
+lib/kernels/synthetic.mli: Cgra_dfg

@@ -1,0 +1,297 @@
+open Cgra_dfg
+
+type t = {
+  name : string;
+  description : string;
+  graph : Graph.t;
+  recurrent : bool;
+}
+
+(* --- video decoding ------------------------------------------------- *)
+
+(* Motion-compensated prediction with saturation, after the MPEG2 kernel of
+   Fig. 2: two reference loads are averaged, a residual is added, and the
+   result is clamped to pixel range and stored. *)
+let mpeg () =
+  let b = Builder.create ~name:"mpeg" in
+  let ref0 = Builder.load b "ref0" ~offset:0 ~stride:1 in
+  let ref1 = Builder.load b "ref1" ~offset:0 ~stride:1 in
+  let sum = Builder.op2 b Op.Add ref0 ref1 in
+  let one = Builder.const b 1 in
+  let rounded = Builder.op2 b Op.Add sum one in
+  let avg = Builder.op2 b Op.Shr rounded one in
+  let resid = Builder.load b "resid" ~offset:0 ~stride:1 in
+  let raw = Builder.op2 b Op.Add avg resid in
+  let pix = Builder.op1 b Op.Clamp8 raw in
+  let _ = Builder.store b "out" ~offset:0 ~stride:1 pix in
+  Builder.finish b
+
+(* Fixed-point YCbCr to RGB conversion: three loads, per-channel multiply/
+   shift chains, three clamped stores. *)
+let yuv2rgb () =
+  let b = Builder.create ~name:"yuv2rgb" in
+  let y = Builder.load b "y" ~offset:0 ~stride:1 in
+  let u = Builder.load b "u" ~offset:0 ~stride:1 in
+  let v = Builder.load b "v" ~offset:0 ~stride:1 in
+  let c128 = Builder.const b 128 in
+  let ud = Builder.op2 b Op.Sub u c128 in
+  let vd = Builder.op2 b Op.Sub v c128 in
+  let sh = Builder.const b 8 in
+  let term k x =
+    let c = Builder.const b k in
+    let m = Builder.op2 b Op.Mul c x in
+    Builder.op2 b Op.Shr m sh
+  in
+  let r = Builder.op1 b Op.Clamp8 (Builder.op2 b Op.Add y (term 359 vd)) in
+  let gsub = Builder.op2 b Op.Add (term 88 ud) (term 183 vd) in
+  let g = Builder.op1 b Op.Clamp8 (Builder.op2 b Op.Sub y gsub) in
+  let bl = Builder.op1 b Op.Clamp8 (Builder.op2 b Op.Add y (term 454 ud)) in
+  let _ = Builder.store b "r" ~offset:0 ~stride:1 r in
+  let _ = Builder.store b "g" ~offset:0 ~stride:1 g in
+  let _ = Builder.store b "b" ~offset:0 ~stride:1 bl in
+  Builder.finish b
+
+(* --- highly parallel ------------------------------------------------- *)
+
+(* 1-D successive over-relaxation sweep.  The smoothed value of cell i
+   depends on the freshly computed value of cell i-1, giving a genuine
+   loop-carried recurrence cycle (latency 3, distance 1, so RecMII = 3) —
+   the RecMII-limited pattern of Fig. 3. *)
+let sor () =
+  let b = Builder.create ~name:"sor" in
+  let right = Builder.load b "grid" ~offset:1 ~stride:1 in
+  let here = Builder.load b "grid" ~offset:0 ~stride:1 in
+  let two = Builder.const b 2 in
+  let scaled = Builder.op2 b Op.Mul here two in
+  (* cycle: partial(i) = relaxed(i-1) + right; sum = partial + 2*here;
+     relaxed = sum >> 2 *)
+  let partial = Builder.defer b Op.Add in
+  let sum = Builder.op2 b Op.Add partial scaled in
+  let relaxed = Builder.op2 b Op.Shr sum two in
+  Builder.connect b ~src:relaxed ~dst:partial ~operand:0 ~distance:1;
+  Builder.connect b ~src:right ~dst:partial ~operand:1 ~distance:0;
+  let _ = Builder.store b "grid" ~offset:0 ~stride:1 relaxed in
+  Builder.finish b
+
+(* Delta/quantize compressor: each sample is predicted from the previous
+   reconstructed sample, so reconstruction feeds back into the residual —
+   a 4-op recurrence cycle (RecMII = 4). *)
+let compress () =
+  let b = Builder.create ~name:"compress" in
+  let x = Builder.load b "samples" ~offset:0 ~stride:1 in
+  let three = Builder.const b 3 in
+  (* cycle: resid(i) = x - recon(i-1); q = resid >> 3; dq = q << 3;
+     recon = dq + recon(i-1)... recon = dq + pred keeps latency 4 *)
+  let resid = Builder.defer b Op.Sub in
+  let q = Builder.op2 b Op.Shr resid three in
+  let dq = Builder.op2 b Op.Shl q three in
+  let recon = Builder.defer b Op.Add in
+  Builder.connect b ~src:x ~dst:resid ~operand:0 ~distance:0;
+  Builder.connect b ~src:recon ~dst:resid ~operand:1 ~distance:1;
+  Builder.connect b ~src:dq ~dst:recon ~operand:0 ~distance:0;
+  Builder.connect b ~src:recon ~dst:recon ~operand:1 ~distance:1;
+  let code = Builder.op1 b Op.Clamp8 (Builder.op2 b Op.Add q (Builder.const b 128)) in
+  let _ = Builder.store b "codes" ~offset:0 ~stride:1 code in
+  let _ = Builder.store b "recon" ~offset:0 ~stride:1 recon in
+  Builder.finish b
+
+(* --- filters ---------------------------------------------------------- *)
+
+(* Gauss-Seidel relaxation step: in-place smoothing where the west
+   neighbour is the value produced one iteration ago. *)
+let gsr () =
+  let b = Builder.create ~name:"gsr" in
+  let east = Builder.load b "field" ~offset:1 ~stride:1 in
+  let north = Builder.load b "field" ~offset:(-8) ~stride:1 in
+  let south = Builder.load b "field" ~offset:8 ~stride:1 in
+  let ns = Builder.op2 b Op.Add north south in
+  let esum = Builder.op2 b Op.Add east ns in
+  (* cycle: acc(i) = relaxed(i-1) + esum; relaxed = acc >> 2  (RecMII 2) *)
+  let acc = Builder.defer b Op.Add in
+  let quarter = Builder.const b 2 in
+  let relaxed = Builder.op2 b Op.Shr acc quarter in
+  Builder.connect b ~src:relaxed ~dst:acc ~operand:0 ~distance:1;
+  Builder.connect b ~src:esum ~dst:acc ~operand:1 ~distance:0;
+  let _ = Builder.store b "field" ~offset:0 ~stride:1 relaxed in
+  Builder.finish b
+
+(* 5-point Laplacian edge detector. *)
+let laplace () =
+  let b = Builder.create ~name:"laplace" in
+  let w = 8 in
+  let centre = Builder.load b "img" ~offset:0 ~stride:1 in
+  let north = Builder.load b "img" ~offset:(-w) ~stride:1 in
+  let south = Builder.load b "img" ~offset:w ~stride:1 in
+  let east = Builder.load b "img" ~offset:1 ~stride:1 in
+  let west = Builder.load b "img" ~offset:(-1) ~stride:1 in
+  let four = Builder.const b 4 in
+  let ns = Builder.op2 b Op.Add north south in
+  let ew = Builder.op2 b Op.Add east west in
+  let ring = Builder.op2 b Op.Add ns ew in
+  let c4 = Builder.op2 b Op.Mul centre four in
+  let lap = Builder.op2 b Op.Sub ring c4 in
+  let mag = Builder.op1 b Op.Abs lap in
+  let pix = Builder.op1 b Op.Clamp8 mag in
+  let _ = Builder.store b "edges" ~offset:0 ~stride:1 pix in
+  Builder.finish b
+
+(* 5-tap FIR low-pass filter with symmetric integer coefficients. *)
+let lowpass () =
+  let b = Builder.create ~name:"lowpass" in
+  let tap k coeff =
+    let x = Builder.load b "signal" ~offset:k ~stride:1 in
+    let c = Builder.const b coeff in
+    Builder.op2 b Op.Mul x c
+  in
+  let t0 = tap (-2) 1 in
+  let t1 = tap (-1) 4 in
+  let t2 = tap 0 6 in
+  let t3 = tap 1 4 in
+  let t4 = tap 2 1 in
+  let s01 = Builder.op2 b Op.Add t0 t1 in
+  let s34 = Builder.op2 b Op.Add t3 t4 in
+  let s = Builder.op2 b Op.Add (Builder.op2 b Op.Add s01 t2) s34 in
+  let sh = Builder.const b 4 in
+  let y = Builder.op2 b Op.Shr s sh in
+  let _ = Builder.store b "filtered" ~offset:0 ~stride:1 y in
+  Builder.finish b
+
+(* Shallow-water (swim) style update: velocity fields u and v are advanced
+   from pressure differences; the pressure update accumulates across
+   iterations. *)
+let swim () =
+  let b = Builder.create ~name:"swim" in
+  let u = Builder.load b "u" ~offset:0 ~stride:1 in
+  let v = Builder.load b "v" ~offset:0 ~stride:1 in
+  let p0 = Builder.load b "p" ~offset:0 ~stride:1 in
+  let p1 = Builder.load b "p" ~offset:1 ~stride:1 in
+  let p8 = Builder.load b "p" ~offset:8 ~stride:1 in
+  let dpx = Builder.op2 b Op.Sub p1 p0 in
+  let dpy = Builder.op2 b Op.Sub p8 p0 in
+  let g = Builder.const b 3 in
+  let du = Builder.op2 b Op.Shr (Builder.op2 b Op.Mul dpx g) g in
+  let dv = Builder.op2 b Op.Shr (Builder.op2 b Op.Mul dpy g) g in
+  let u' = Builder.op2 b Op.Sub u du in
+  let v' = Builder.op2 b Op.Sub v dv in
+  let divergence = Builder.op2 b Op.Add u' v' in
+  (* pressure integrates its own previous value minus the divergence:
+     cycle p'(i) = damp(p'(i-1)) - divergence  (RecMII 2) *)
+  let p' = Builder.defer b Op.Sub in
+  let damped = Builder.op2 b Op.Shr p' (Builder.const b 0) in
+  Builder.connect b ~src:damped ~dst:p' ~operand:0 ~distance:1;
+  Builder.connect b ~src:divergence ~dst:p' ~operand:1 ~distance:0;
+  let _ = Builder.store b "u" ~offset:0 ~stride:1 u' in
+  let _ = Builder.store b "v" ~offset:0 ~stride:1 v' in
+  let _ = Builder.store b "p" ~offset:0 ~stride:1 p' in
+  Builder.finish b
+
+(* Sobel gradient magnitude over a 3x3 window. *)
+let sobel () =
+  let b = Builder.create ~name:"sobel" in
+  let w = 8 in
+  let px r c = Builder.load b "img" ~offset:((r * w) + c) ~stride:1 in
+  let nw = px (-1) (-1) and n = px (-1) 0 and ne = px (-1) 1 in
+  let wp = px 0 (-1) and ep = px 0 1 in
+  let sw = px 1 (-1) and s = px 1 0 and se = px 1 1 in
+  let one = Builder.const b 1 in
+  let dbl x = Builder.op2 b Op.Shl x one in
+  (* gx = (ne + 2e + se) - (nw + 2w + sw) *)
+  let east_sum = Builder.op2 b Op.Add (Builder.op2 b Op.Add ne (dbl ep)) se in
+  let west_sum = Builder.op2 b Op.Add (Builder.op2 b Op.Add nw (dbl wp)) sw in
+  let gx = Builder.op2 b Op.Sub east_sum west_sum in
+  (* gy = (sw + 2s + se) - (nw + 2n + ne) *)
+  let south_sum = Builder.op2 b Op.Add (Builder.op2 b Op.Add sw (dbl s)) se in
+  let north_sum = Builder.op2 b Op.Add (Builder.op2 b Op.Add nw (dbl n)) ne in
+  let gy = Builder.op2 b Op.Sub south_sum north_sum in
+  let mag = Builder.op2 b Op.Add (Builder.op1 b Op.Abs gx) (Builder.op1 b Op.Abs gy) in
+  let pix = Builder.op1 b Op.Clamp8 mag in
+  let _ = Builder.store b "grad" ~offset:0 ~stride:1 pix in
+  Builder.finish b
+
+(* 5/3 lifting wavelet step: the detail coefficient is predicted from even
+   samples; the smooth coefficient uses the previous detail (distance-1
+   recurrence through the update lifting step). *)
+let wavelet () =
+  let b = Builder.create ~name:"wavelet" in
+  let even = Builder.load b "signal" ~offset:0 ~stride:2 in
+  let next_even = Builder.load b "signal" ~offset:2 ~stride:2 in
+  let odd = Builder.load b "signal" ~offset:1 ~stride:2 in
+  let one = Builder.const b 1 in
+  let two = Builder.const b 2 in
+  let pred = Builder.op2 b Op.Shr (Builder.op2 b Op.Add even next_even) one in
+  let detail = Builder.op2 b Op.Sub odd pred in
+  (* update step uses this detail and the previous iteration's detail —
+     a loop-carried edge but no cycle (5/3 lifting is feed-forward) *)
+  let dsum = Builder.add b Op.Add [ Builder.carried detail 0; (detail, 1) ] in
+  let rounded = Builder.op2 b Op.Add dsum two in
+  let smooth = Builder.op2 b Op.Add even (Builder.op2 b Op.Shr rounded two) in
+  let _ = Builder.store b "detail" ~offset:0 ~stride:1 detail in
+  let _ = Builder.store b "smooth" ~offset:0 ~stride:1 smooth in
+  Builder.finish b
+
+(* Histogram-equalization application pass: per-pixel table lookup through
+   a dynamically computed index, plus a running maximum. *)
+let histeq () =
+  let b = Builder.create ~name:"histeq" in
+  let pix = Builder.load b "img" ~offset:0 ~stride:1 in
+  let idx = Builder.op2 b Op.And pix (Builder.const b 255) in
+  let mapped = Builder.op1 b (Op.Load_idx { array = "lut" }) idx in
+  (* running peak: self-recurrence max(mapped, running(i-1)) *)
+  let running = Builder.defer b Op.Max in
+  Builder.connect b ~src:mapped ~dst:running ~operand:0 ~distance:0;
+  Builder.connect b ~src:running ~dst:running ~operand:1 ~distance:1;
+  (* 50/50 blend of equalized and original pixel, a common display mode *)
+  let one = Builder.const b 1 in
+  let blend_sum = Builder.op2 b Op.Add (Builder.op2 b Op.Add mapped pix) one in
+  let blend = Builder.op2 b Op.Shr blend_sum one in
+  let _ = Builder.store b "out" ~offset:0 ~stride:1 mapped in
+  let _ = Builder.store b "blend" ~offset:0 ~stride:1 blend in
+  let _ = Builder.store b "peak" ~offset:0 ~stride:0 running in
+  Builder.finish b
+
+let make name description recurrent graph = { name; description; graph; recurrent }
+
+let all =
+  [
+    make "mpeg" "MPEG2 motion compensation with saturation (Fig. 2)" false (mpeg ());
+    make "yuv2rgb" "fixed-point YCbCr to RGB conversion" false (yuv2rgb ());
+    make "sor" "successive over-relaxation sweep (recurrence-limited)" true (sor ());
+    make "compress" "delta/quantize compressor with reconstruction feedback" true
+      (compress ());
+    make "gsr" "Gauss-Seidel relaxation filter" true (gsr ());
+    make "laplace" "5-point Laplacian edge detector" false (laplace ());
+    make "lowpass" "5-tap symmetric FIR low-pass filter" false (lowpass ());
+    make "swim" "shallow-water velocity/pressure update" true (swim ());
+    make "sobel" "3x3 Sobel gradient magnitude" false (sobel ());
+    make "wavelet" "5/3 lifting wavelet step (loop-carried but acyclic)" false
+      (wavelet ());
+    make "histeq" "histogram-equalization lookup with running peak" true (histeq ());
+  ]
+
+let names = List.map (fun k -> k.name) all
+
+let find name = List.find_opt (fun k -> k.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some k -> k
+  | None -> invalid_arg ("Kernels.find_exn: unknown kernel " ^ name)
+
+let arrays_of graph =
+  let module S = Set.Make (String) in
+  let set =
+    List.fold_left
+      (fun acc (n : Graph.node) ->
+        match Op.array_of n.op with Some a -> S.add a acc | None -> acc)
+      S.empty (Graph.nodes graph)
+  in
+  S.elements set
+
+let init_memory ?(seed = 42) ?(size = 64) k =
+  let rng = Cgra_util.Rng.create ~seed in
+  let bindings =
+    List.map
+      (fun name -> (name, Array.init size (fun _ -> Cgra_util.Rng.int rng 256)))
+      (arrays_of k.graph)
+  in
+  Memory.create bindings

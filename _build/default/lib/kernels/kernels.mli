@@ -1,0 +1,31 @@
+(** The benchmark suite of Section VII: inner-loop kernels from video
+    decoding (mpeg, yuv2rgb), highly parallel codes (sor, compress), and
+    filters (gsr, laplace, lowpass, swim, sobel, wavelet, histeq).
+
+    The paper does not list its DFGs, so each kernel is reconstructed from
+    the textbook form of its algorithm with realistic operation counts
+    (9–30 micro-ops) and genuine loop-carried recurrences where the
+    algorithm has them (sor, gsr, compress, swim, wavelet) — see
+    DESIGN.md.  All kernels are executable: {!init_memory} builds the
+    arrays they address, and [Cgra_dfg.Interp] runs them. *)
+
+type t = {
+  name : string;
+  description : string;
+  graph : Cgra_dfg.Graph.t;
+  recurrent : bool;  (** has a loop-carried dependence cycle *)
+}
+
+val all : t list
+(** The 11 kernels, in the order the figures list them. *)
+
+val names : string list
+
+val find : string -> t option
+
+val find_exn : string -> t
+
+val init_memory : ?seed:int -> ?size:int -> t -> Cgra_dfg.Memory.t
+(** A memory environment containing every array the kernel addresses,
+    filled with deterministic pseudo-random pixel-range data
+    (default [size] 64 elements per array). *)

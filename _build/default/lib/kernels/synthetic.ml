@@ -1,0 +1,76 @@
+open Cgra_dfg
+
+type config = {
+  n_ops : int;
+  mem_fraction : float;
+  recurrence : bool;
+}
+
+let default = { n_ops = 12; mem_fraction = 0.3; recurrence = false }
+
+let binary_ops = [| Op.Add; Op.Sub; Op.Mul; Op.Min; Op.Max; Op.And; Op.Or; Op.Xor |]
+
+let unary_ops = [| Op.Abs; Op.Neg; Op.Clamp8 |]
+
+let generate ~seed cfg =
+  if cfg.n_ops < 3 then invalid_arg "Synthetic.generate: n_ops >= 3";
+  if cfg.mem_fraction < 0.0 || cfg.mem_fraction > 0.6 then
+    invalid_arg "Synthetic.generate: mem_fraction in [0, 0.6]";
+  let rng = Cgra_util.Rng.create ~seed in
+  let b = Builder.create ~name:(Printf.sprintf "synthetic-%d" seed) in
+  let pool = ref [] in
+  let fresh_value () =
+    match !pool with
+    | [] -> Builder.load b "in0" ~offset:0 ~stride:1
+    | vs -> Cgra_util.Rng.choose rng (Array.of_list vs)
+  in
+  let n_mem = max 1 (int_of_float (cfg.mem_fraction *. float_of_int cfg.n_ops)) in
+  let n_loads = max 1 (n_mem - 1) in
+  (* input layer: loads from a couple of arrays *)
+  for i = 0 to n_loads - 1 do
+    let array = Printf.sprintf "in%d" (i mod 3) in
+    let v = Builder.load b array ~offset:(Cgra_util.Rng.int rng 8) ~stride:1 in
+    pool := v :: !pool
+  done;
+  (* one optional recurrence cycle of latency 2 *)
+  if cfg.recurrence then begin
+    let acc = Builder.defer b Op.Add in
+    let damped = Builder.op2 b Op.Shr acc (Builder.const b 1) in
+    Builder.connect b ~src:damped ~dst:acc ~operand:0 ~distance:1;
+    Builder.connect b ~src:(fresh_value ()) ~dst:acc ~operand:1 ~distance:0;
+    pool := damped :: !pool
+  end;
+  (* arithmetic layers *)
+  let arith_budget = max 1 (cfg.n_ops - n_loads - 1 - if cfg.recurrence then 2 else 0) in
+  for _ = 1 to arith_budget do
+    let v =
+      if Cgra_util.Rng.float rng 1.0 < 0.25 then
+        Builder.op1 b (Cgra_util.Rng.choose rng unary_ops) (fresh_value ())
+      else
+        let x = fresh_value () and y = fresh_value () in
+        if Cgra_util.Rng.bool rng && Cgra_util.Rng.float rng 1.0 < 0.2 then
+          (* occasional loop-carried (acyclic) edge *)
+          Builder.add b
+            (Cgra_util.Rng.choose rng binary_ops)
+            [ (x, 0); (y, 1) ]
+        else Builder.op2 b (Cgra_util.Rng.choose rng binary_ops) x y
+    in
+    pool := v :: !pool
+  done;
+  (* observable output *)
+  let _ = Builder.store b "out" ~offset:0 ~stride:1 (fresh_value ()) in
+  Builder.finish b
+
+let memory_for ~seed ?(size = 48) g =
+  let rng = Cgra_util.Rng.create ~seed in
+  let module S = Set.Make (String) in
+  let arrays =
+    List.fold_left
+      (fun acc (n : Graph.node) ->
+        match Op.array_of n.op with Some a -> S.add a acc | None -> acc)
+      S.empty (Graph.nodes g)
+  in
+  Memory.create
+    (List.map
+       (fun name -> (name, Array.init size (fun _ -> Cgra_util.Rng.int rng 256)))
+       (S.elements arrays))

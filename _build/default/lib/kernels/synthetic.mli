@@ -1,0 +1,22 @@
+(** Random kernel generation for property-based testing and workload
+    variety.
+
+    Generated graphs are always valid (constructed in topological layers,
+    loop-carried edges only through {!Cgra_dfg.Builder.defer} cycles of
+    bounded latency) and always executable against {!init_memory}-style
+    environments. *)
+
+type config = {
+  n_ops : int;  (** target operation count, >= 3 *)
+  mem_fraction : float;  (** share of loads/stores, in [0, 0.6] *)
+  recurrence : bool;  (** include one distance-1 recurrence cycle *)
+}
+
+val default : config
+
+val generate : seed:int -> config -> Cgra_dfg.Graph.t
+(** Deterministic in the seed.  The graph ends with at least one store, so
+    execution is observable. *)
+
+val memory_for : seed:int -> ?size:int -> Cgra_dfg.Graph.t -> Cgra_dfg.Memory.t
+(** A memory environment covering every array the graph addresses. *)

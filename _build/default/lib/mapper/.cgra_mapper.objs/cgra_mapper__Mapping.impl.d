@@ -1,0 +1,1 @@
+lib/mapper/mapping.ml: Array Cgra Cgra_arch Cgra_dfg Coord Format Fun Graph Grid Hashtbl Int List Memdep Op Option Page Printf Set

@@ -1,0 +1,1 @@
+lib/mapper/mapping.mli: Cgra_arch Cgra_dfg Format

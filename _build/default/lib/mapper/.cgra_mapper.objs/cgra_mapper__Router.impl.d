@@ -1,0 +1,1 @@
+lib/mapper/router.ml: Cgra_arch Cgra_util Grid Hashtbl Int List Mapping Option

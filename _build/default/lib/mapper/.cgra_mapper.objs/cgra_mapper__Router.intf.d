@@ -1,0 +1,1 @@
+lib/mapper/router.mli: Cgra_arch Mapping

@@ -1,0 +1,1 @@
+lib/mapper/scheduler.ml: Analysis Array Cgra Cgra_arch Cgra_dfg Cgra_util Coord Format Graph Grid Hashtbl Int List Logs Mapping Memdep Op Option Page Printf Router String

@@ -1,0 +1,1 @@
+lib/mapper/scheduler.mli: Cgra_arch Cgra_dfg Logs Mapping

@@ -1,0 +1,64 @@
+open Cgra_arch
+
+let earliest_free ~ii ~free pe ~lower ~deadline =
+  (* Scanning one full II window suffices: slots repeat modulo ii. *)
+  let rec go t =
+    if t > deadline || t >= lower + ii then None
+    else if free pe t then Some t
+    else go (t + 1)
+  in
+  go lower
+
+let find ~grid ~ii ~free ~allowed ~read_adjacent ?goal_adjacent
+    ~(src : Mapping.placement) ~dst_pe ~deadline ~max_hops () =
+  let goal_adjacent = Option.value ~default:read_adjacent goal_adjacent in
+  if goal_adjacent src.Mapping.pe dst_pe && deadline >= src.Mapping.time + 1 then
+    Some []
+  else begin
+    (* Best-first over (hops, arrival time); parents recorded for path
+       reconstruction. *)
+    let module Pq = Cgra_util.Pqueue in
+    let best = Hashtbl.create 32 in
+    (* pe index -> (hops, time) already expanded with *)
+    let cmp (h1, t1) (h2, t2) =
+      let c = Int.compare h1 h2 in
+      if c <> 0 then c else Int.compare t1 t2
+    in
+    let q = ref (Pq.empty ~cmp) in
+    let push hops time pe path =
+      match earliest_free ~ii ~free pe ~lower:time ~deadline:(deadline - 1) with
+      | None -> ()
+      | Some t ->
+          let key = Grid.index grid pe in
+          let better =
+            match Hashtbl.find_opt best key with
+            | None -> true
+            | Some (h0, t0) -> cmp (hops, t) (h0, t0) < 0
+          in
+          if better then begin
+            Hashtbl.replace best key (hops, t);
+            q := Pq.push !q (hops, t) (pe, { Mapping.pe; time = t } :: path)
+          end
+    in
+    List.iter
+      (fun pe ->
+        if allowed pe && read_adjacent src.Mapping.pe pe then
+          push 1 (src.Mapping.time + 1) pe [])
+      (Grid.neighbors grid src.Mapping.pe @ [ src.Mapping.pe ]);
+    let rec search () =
+      match Pq.pop !q with
+      | None -> None
+      | Some (((hops, t), (pe, path)), rest) ->
+          q := rest;
+          if goal_adjacent pe dst_pe && deadline >= t + 1 then Some (List.rev path)
+          else if hops >= max_hops then search ()
+          else begin
+            List.iter
+              (fun pe' ->
+                if allowed pe' && read_adjacent pe pe' then push (hops + 1) (t + 1) pe' path)
+              (Grid.neighbors grid pe @ [ pe ]);
+            search ()
+          end
+    in
+    search ()
+  end

@@ -1,0 +1,37 @@
+(** Operand routing through intermediate PEs.
+
+    When a consumer is not within register-file reach of its producer
+    (same PE or a mesh neighbour), the value is relayed through routing
+    PEs: each hop occupies one schedule slot exclusively and
+    re-materializes the value in its own register file, where it can wait
+    any number of cycles for the next hop (the paper's routing PEs
+    "can only transfer input data to [their] outputs").
+
+    The search is a best-first (fewest hops, then earliest arrival)
+    expansion over PEs, assigning each hop the earliest free modulo slot
+    after its predecessor. *)
+
+val find :
+  grid:Cgra_arch.Grid.t ->
+  ii:int ->
+  free:(Cgra_arch.Coord.t -> int -> bool) ->
+  allowed:(Cgra_arch.Coord.t -> bool) ->
+  read_adjacent:(Cgra_arch.Coord.t -> Cgra_arch.Coord.t -> bool) ->
+  ?goal_adjacent:(Cgra_arch.Coord.t -> Cgra_arch.Coord.t -> bool) ->
+  src:Mapping.placement ->
+  dst_pe:Cgra_arch.Coord.t ->
+  deadline:int ->
+  max_hops:int ->
+  unit ->
+  Mapping.placement list option
+(** [find ... ~src ~dst_pe ~deadline ()] returns a hop chain (possibly
+    empty when the consumer can read the producer directly) such that the
+    consumer can read the final value at time [deadline].
+
+    [free pe t] must say whether slot [(pe, t mod ii)] is unoccupied;
+    [allowed] restricts the hop region (a page under paging constraints);
+    [read_adjacent a b] is the reach relation between hops (who can read
+    whose RF); [goal_adjacent] (default [read_adjacent]) is the relation
+    for the final read by the consumer — it differs for cross-page edges,
+    where the last producer-side PE must sit on the page boundary.
+    [None] when no chain of at most [max_hops] hops exists. *)

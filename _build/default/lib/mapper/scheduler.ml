@@ -1,0 +1,424 @@
+open Cgra_arch
+open Cgra_dfg
+
+let log_src = Logs.Src.create "cgra.mapper" ~doc:"CGRA modulo scheduler"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type kind = Unconstrained | Paged
+
+let schedulable_nodes g =
+  List.filter_map
+    (fun (n : Graph.node) ->
+      match n.op with Op.Const _ -> None | _ -> Some n.id)
+    (Graph.nodes g)
+
+let mii kind arch g =
+  let pes =
+    match kind with
+    | Unconstrained -> Cgra.pe_count arch
+    | Paged -> Page.used_pe_count arch.Cgra.pages
+  in
+  let mem_slots_per_cycle = arch.Cgra.grid.Grid.rows * arch.Cgra.mem_ports_per_row in
+  (* Const nodes are not scheduled; correct the resource bound. *)
+  let n_sched = List.length (schedulable_nodes g) in
+  let cdiv a b = (a + b - 1) / b in
+  let res =
+    max (cdiv (max 1 n_sched) pes)
+      (cdiv (Graph.mem_node_count g) mem_slots_per_cycle)
+  in
+  let extra = Memdep.as_edge_triples (Memdep.ordering g) in
+  max res (Analysis.rec_mii_with ~extra g)
+
+(* ----- one scheduling attempt ---------------------------------------- *)
+
+module Attempt = struct
+  type t = {
+    kind : kind;
+    arch : Cgra.t;
+    graph : Graph.t;
+    ii : int;
+    spread : bool;
+        (* search personality: [false] packs operations into the fewest
+           pages (maximizing the fabric left for other threads); [true]
+           uses pages freely, favouring a lower II.  Restart attempts
+           alternate between the two. *)
+    rng : Cgra_util.Rng.t;
+    ordering : Memdep.t list;
+        (* memory ordering constraints: timing-only edges *)
+    placements : Mapping.placement option array;
+    occupied : (int * int, unit) Hashtbl.t;  (* (pe index, slot) *)
+    mem_use : (int * int, int) Hashtbl.t;  (* (row, slot) -> count *)
+    mutable routes : Mapping.route list;
+    mutable max_page_used : int;  (* -1 when none *)
+  }
+
+  let create ?(spread = false) kind arch graph ii rng =
+    {
+      kind;
+      arch;
+      graph;
+      ii;
+      spread;
+      rng;
+      ordering = Memdep.ordering graph;
+      placements = Array.make (Graph.n_nodes graph) None;
+      occupied = Hashtbl.create 128;
+      mem_use = Hashtbl.create 32;
+      routes = [];
+      max_page_used = -1;
+    }
+
+  let grid t = t.arch.Cgra.grid
+
+  let pages t = t.arch.Cgra.pages
+
+  let slot t time = time mod t.ii
+
+  let base_free t pe time =
+    not (Hashtbl.mem t.occupied (Grid.index (grid t) pe, slot t time))
+
+  let is_const t v =
+    match (Graph.node t.graph v).op with Op.Const _ -> true | _ -> false
+
+  let page_of t pe = Page.page_of_pe (pages t) pe
+
+  (* Reach relation for reads: same PE or mesh neighbour; for band pages
+     under paging constraints, same-page reads must additionally be
+     path-consecutive so that page reversal stays legal. *)
+  let read_adjacent t ~same_page a b =
+    Coord.equal a b
+    || Coord.adjacent a b
+       &&
+       if same_page && t.kind = Paged && not (Page.is_rect (pages t)) then
+         abs (Grid.serp_index (grid t) a - Grid.serp_index (grid t) b) = 1
+       else true
+
+  (* Adjacency for the boundary crossing of a cross-page read. *)
+  let cross_adjacent t a b =
+    Coord.adjacent a b
+    && (Page.is_rect (pages t)
+       || abs (Grid.serp_index (grid t) a - Grid.serp_index (grid t) b) = 1)
+
+  (* Feasibility of one edge given both endpoints, with an overlay of
+     tentatively routed hops.  [producer]/[consumer] are the edge's
+     endpoint placements; returns the hops needed (possibly []). *)
+  let edge_feasible t ~overlay (e : Graph.edge) ~(producer : Mapping.placement)
+      ~(consumer : Mapping.placement) =
+    let read_time = consumer.time + (e.distance * t.ii) in
+    let free pe time =
+      base_free t pe time
+      && not (Hashtbl.mem overlay (Grid.index (grid t) pe, slot t time))
+    in
+    match t.kind with
+    | Unconstrained ->
+        Router.find ~grid:(grid t) ~ii:t.ii ~free ~allowed:(fun _ -> true)
+          ~read_adjacent:(read_adjacent t ~same_page:false)
+          ~src:producer ~dst_pe:consumer.pe ~deadline:read_time ~max_hops:8 ()
+    | Paged -> (
+        match (page_of t producer.pe, page_of t consumer.pe) with
+        | Some pu, Some pv when pv >= pu ->
+            (* Values may relay forward through intermediate pages; each
+               step stays in its page or crosses one boundary. *)
+            let allowed pe =
+              match page_of t pe with Some p -> p >= pu && p <= pv | None -> false
+            in
+            let step a b =
+              match (page_of t a, page_of t b) with
+              | Some pa, Some pb when pb = pa -> read_adjacent t ~same_page:true a b
+              | Some pa, Some pb when pb = pa + 1 -> cross_adjacent t a b
+              | Some _, Some _ | None, _ | _, None -> false
+            in
+            Router.find ~grid:(grid t) ~ii:t.ii ~free ~allowed ~read_adjacent:step
+              ~src:producer ~dst_pe:consumer.pe ~deadline:read_time
+              ~max_hops:(2 * (pv - pu + 4))
+              ()
+        | Some _, Some _ | None, _ | _, None -> None)
+
+  (* All edges of candidate [v] at [cand] whose other endpoint is already
+     placed.  Returns the routes to commit, or None if infeasible. *)
+  let edges_feasible t v (cand : Mapping.placement) =
+    let overlay = Hashtbl.create 8 in
+    let add_overlay hops =
+      List.iter
+        (fun (h : Mapping.placement) ->
+          Hashtbl.replace overlay (Grid.index (grid t) h.pe, slot t h.time) ())
+        hops
+    in
+    let rec go acc = function
+      | [] -> Some acc
+      | (e, producer, consumer) :: rest -> (
+          match edge_feasible t ~overlay e ~producer ~consumer with
+          | None -> None
+          | Some [] -> go acc rest
+          | Some hops ->
+              add_overlay hops;
+              go ({ Mapping.edge = e; hops } :: acc) rest)
+    in
+    let pred_edges =
+      List.filter_map
+        (fun (e : Graph.edge) ->
+          if is_const t e.src then None
+          else
+            match t.placements.(e.src) with
+            | Some pu -> Some (e, pu, cand)
+            | None -> None)
+        (Graph.preds t.graph v)
+    in
+    let succ_edges =
+      List.filter_map
+        (fun (e : Graph.edge) ->
+          match t.placements.(e.dst) with
+          | Some pw -> Some (e, cand, pw)
+          | None -> None)
+        (Graph.succs t.graph v)
+    in
+    go [] (pred_edges @ succ_edges)
+
+  let mem_ok t v pe time =
+    if not (Op.is_mem (Graph.node t.graph v).op) then true
+    else
+      let key = (pe.Coord.row, slot t time) in
+      Option.value ~default:0 (Hashtbl.find_opt t.mem_use key)
+      < t.arch.Cgra.mem_ports_per_row
+
+  let candidate_pes t =
+    let all = Grid.all_pes (grid t) in
+    match t.kind with
+    | Unconstrained -> all
+    | Paged ->
+        (* Only pages forming a contiguous prefix may be used; allow one
+           fresh page beyond the current maximum. *)
+        List.filter
+          (fun pe ->
+            match page_of t pe with
+            | Some pg -> pg <= t.max_page_used + 1
+            | None -> false)
+          all
+
+  (* PEs of each page that are boundary-adjacent to the next page.  Ops
+     with unplaced consumers prefer these: their values can still leave
+     the page without relays. *)
+  let boundary_pes t =
+    let tbl = Hashtbl.create 16 in
+    for n = 0 to Page.n_pages (pages t) - 2 do
+      List.iter
+        (fun (a, _) -> Hashtbl.replace tbl (Grid.index (grid t) a) ())
+        (Page.boundary_pairs (pages t) n)
+    done;
+    tbl
+
+  let has_unplaced_consumer t v =
+    List.exists
+      (fun (e : Graph.edge) -> t.placements.(e.dst) = None)
+      (Graph.succs t.graph v)
+
+  (* Cost of a feasible candidate.  Packing personality: fewer fresh
+     pages and lower page index first (harvestable fabric); spreading
+     personality: fewer routing hops and boundary access for ops whose
+     consumers are still unplaced (lower II pressure). *)
+  let cost t ~boundary v (cand : Mapping.placement) routes =
+    let hops =
+      List.fold_left (fun acc (r : Mapping.route) -> acc + List.length r.hops) 0 routes
+    in
+    match t.kind with
+    | Unconstrained -> (0, 0, hops, 0, Cgra_util.Rng.int t.rng 1024)
+    | Paged when t.spread ->
+        let interior_penalty =
+          if
+            has_unplaced_consumer t v
+            && not (Hashtbl.mem boundary (Grid.index (grid t) cand.pe))
+          then 1
+          else 0
+        in
+        (0, hops, interior_penalty, 0, Cgra_util.Rng.int t.rng 1024)
+    | Paged ->
+        let pg = Option.value ~default:0 (page_of t cand.pe) in
+        let fresh = if pg > t.max_page_used then 1 else 0 in
+        (fresh, pg, hops, 0, Cgra_util.Rng.int t.rng 1024)
+
+  let commit t v (cand : Mapping.placement) routes =
+    t.placements.(v) <- Some cand;
+    Hashtbl.replace t.occupied (Grid.index (grid t) cand.pe, slot t cand.time) ();
+    if Op.is_mem (Graph.node t.graph v).op then begin
+      let key = (cand.pe.Coord.row, slot t cand.time) in
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.mem_use key) in
+      Hashtbl.replace t.mem_use key (n + 1)
+    end;
+    List.iter
+      (fun (r : Mapping.route) ->
+        List.iter
+          (fun (h : Mapping.placement) ->
+            Hashtbl.replace t.occupied (Grid.index (grid t) h.pe, slot t h.time) ())
+          r.hops;
+        t.routes <- r :: t.routes)
+      routes;
+    (match page_of t cand.pe with
+    | Some pg -> t.max_page_used <- max t.max_page_used pg
+    | None -> ())
+
+  (* Modulo scheduling window of node [v] from its placed neighbours —
+     data edges and memory ordering constraints alike. *)
+  let window t v =
+    let lo =
+      List.fold_left
+        (fun acc (e : Graph.edge) ->
+          if is_const t e.src then acc
+          else
+            match t.placements.(e.src) with
+            | Some pu -> max acc (pu.time + 1 - (e.distance * t.ii))
+            | None -> acc)
+        0 (Graph.preds t.graph v)
+    in
+    let lo =
+      List.fold_left
+        (fun acc (o : Memdep.t) ->
+          if o.dst <> v then acc
+          else
+            match t.placements.(o.src) with
+            | Some pu -> max acc (pu.time + 1 - (o.distance * t.ii))
+            | None -> acc)
+        lo t.ordering
+    in
+    let hi =
+      List.fold_left
+        (fun acc (e : Graph.edge) ->
+          match t.placements.(e.dst) with
+          | Some pw -> min acc (pw.time - 1 + (e.distance * t.ii))
+          | None -> acc)
+        max_int (Graph.succs t.graph v)
+    in
+    let hi =
+      List.fold_left
+        (fun acc (o : Memdep.t) ->
+          if o.src <> v then acc
+          else
+            match t.placements.(o.dst) with
+            | Some pw -> min acc (pw.time - 1 + (o.distance * t.ii))
+            | None -> acc)
+        hi t.ordering
+    in
+    (lo, min hi (lo + t.ii - 1))
+
+  let place_node t ~boundary v =
+    let lo, hi = window t v in
+    if hi < lo then false
+    else begin
+      let pes = Array.of_list (candidate_pes t) in
+      Cgra_util.Rng.shuffle t.rng pes;
+      let rec try_time time =
+        if time > hi then false
+        else begin
+          let best = ref None in
+          Array.iter
+            (fun pe ->
+              let cand = { Mapping.pe; time } in
+              if base_free t pe time && mem_ok t v pe time then
+                match edges_feasible t v cand with
+                | None -> ()
+                | Some routes ->
+                    let c = cost t ~boundary v cand routes in
+                    (match !best with
+                    | Some (c0, _, _) when c0 <= c -> ()
+                    | Some _ | None -> best := Some (c, cand, routes)))
+            pes;
+          match !best with
+          | Some (_, cand, routes) ->
+              commit t v cand routes;
+              true
+          | None -> try_time (time + 1)
+        end
+      in
+      try_time lo
+    end
+
+  let run t =
+    let order =
+      let rank = Analysis.scc_topo_rank t.graph in
+      let h = Analysis.height t.graph in
+      let a = Analysis.asap t.graph in
+      List.sort
+        (fun v w ->
+          let c = Int.compare rank.(v) rank.(w) in
+          if c <> 0 then c
+          else
+            let c = Int.compare h.(w) h.(v) in
+            if c <> 0 then c
+            else
+              let c = Int.compare a.(v) a.(w) in
+              if c <> 0 then c else Int.compare v w)
+        (schedulable_nodes t.graph)
+    in
+    let boundary = boundary_pes t in
+    let place v =
+      let ok = place_node t ~boundary v in
+      if not ok then
+        Log.debug (fun m ->
+            m "%s ii=%d: no slot for node %d (%s)" (Graph.name t.graph) t.ii v
+              (Op.to_string (Graph.node t.graph v).op));
+      ok
+    in
+    if List.for_all place order then
+      let m =
+        {
+          Mapping.arch = t.arch;
+          graph = t.graph;
+          ii = t.ii;
+          placements = t.placements;
+          routes = t.routes;
+          paged = (t.kind = Paged);
+        }
+      in
+      match Mapping.validate m with
+      | Ok () -> Some m
+      | Error es ->
+          Log.debug (fun m ->
+              m "%s ii=%d: validation failed: %s" (Graph.name t.graph) t.ii
+                (String.concat "; " es));
+          None
+    else None
+end
+
+let map ?(seed = 0) ?max_ii ?(attempts = 64) kind arch g =
+  let start = mii kind arch g in
+  let max_ii = Option.value ~default:(start + 40) max_ii in
+  let one_attempt ~ii ~a ~spread =
+    let rng =
+      Cgra_util.Rng.create ~seed:(((seed * 31) + (ii * 1009) + a) lxor 0x5bf03635)
+    in
+    Attempt.run (Attempt.create ~spread kind arch g ii rng)
+  in
+  (* Once the minimal feasible II is found, spend a few packing-personality
+     attempts reducing the page footprint at that II: unused pages are
+     what the multithreading runtime harvests. *)
+  let polish_pages ii first =
+    let better best cand =
+      if Mapping.n_pages_used cand < Mapping.n_pages_used best then cand else best
+    in
+    let rec go best a =
+      if a >= 8 then best
+      else
+        match one_attempt ~ii ~a:(1000 + a) ~spread:false with
+        | Some m -> go (better best m) (a + 1)
+        | None -> go best (a + 1)
+    in
+    if kind = Paged then go first 0 else first
+  in
+  let rec try_ii ii =
+    if ii > max_ii then
+      Error
+        (Printf.sprintf "Scheduler.map: %s does not fit on %s within II %d"
+           (Graph.name g)
+           (Format.asprintf "%a" Cgra.pp arch)
+           max_ii)
+    else
+      let rec try_attempt a =
+        if a >= attempts then try_ii (ii + 1)
+        else
+          match one_attempt ~ii ~a ~spread:(a mod 2 = 1) with
+          | Some m -> Ok (polish_pages ii m)
+          | None -> try_attempt (a + 1)
+      in
+      try_attempt 0
+  in
+  try_ii start

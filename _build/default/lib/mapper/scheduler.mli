@@ -1,0 +1,41 @@
+(** Iterative modulo scheduling of a kernel onto the CGRA — the compiler
+    of Section II, in two flavours:
+
+    - {b Unconstrained}: the EMS-style baseline.  Operations may use any
+      PE; operands travel via neighbour register-file reads or routing-PE
+      chains.  This produces the paper's baseline [II_b].
+    - {b Paged}: adds the compile-time constraints of Section VI-B — the
+      ring-topology dataflow constraint between pages and the
+      register-usage rule — and packs operations into as few pages as
+      possible (unused pages are what multithreading harvests).  This
+      produces the constrained [II_c] compared in Fig. 8.
+
+    The engine is a priority-ordered list scheduler over the modulo
+    resource table: nodes are placed in condensation-topological order
+    (recurrence circuits first among their dependents), each into the
+    cheapest feasible (PE, time) of its modulo window, with bounded-hop
+    routing.  Failed attempts restart with a perturbed placement order;
+    exhausted attempts escalate the II.  Every returned mapping has been
+    re-checked by [Mapping.validate]. *)
+
+type kind = Unconstrained | Paged
+
+val map :
+  ?seed:int ->
+  ?max_ii:int ->
+  ?attempts:int ->
+  kind ->
+  Cgra_arch.Cgra.t ->
+  Cgra_dfg.Graph.t ->
+  (Mapping.t, string) result
+(** [map kind arch g] schedules [g].  Defaults: [seed 0], [attempts 64]
+    restarts per II, [max_ii] = MII + 40.  [Error] only when every II up
+    to [max_ii] fails — which the test-suite treats as a bug for the
+    bundled kernels. *)
+
+val mii : kind -> Cgra_arch.Cgra.t -> Cgra_dfg.Graph.t -> int
+(** The lower bound the search starts from ([Analysis.mii] with the
+    fabric's PE and memory-port resources). *)
+
+val log_src : Logs.Src.t
+(** Debug logging source ("cgra.mapper"): per-attempt failure reasons. *)

@@ -1,0 +1,1 @@
+lib/sim/check.ml: Array Cgra_dfg Cgra_mapper Exec Interp List Memory Printf

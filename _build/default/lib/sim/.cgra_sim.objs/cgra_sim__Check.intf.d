@@ -1,0 +1,1 @@
+lib/sim/check.mli: Cgra_dfg Cgra_mapper

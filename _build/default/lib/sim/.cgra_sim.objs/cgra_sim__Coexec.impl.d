@@ -1,0 +1,1 @@
+lib/sim/coexec.ml: Array Cgra Cgra_arch Cgra_dfg Cgra_mapper Check Coord Graph Grid Hashtbl List Mapping Op Option Printf

@@ -1,0 +1,1 @@
+lib/sim/coexec.mli: Cgra_dfg Cgra_mapper

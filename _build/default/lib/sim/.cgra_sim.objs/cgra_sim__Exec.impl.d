@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Cgra Cgra_arch Cgra_dfg Cgra_mapper Graph Grid Hashtbl List Machine Mapping Memory Op

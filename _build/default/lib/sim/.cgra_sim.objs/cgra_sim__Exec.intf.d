@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Cgra_dfg Cgra_mapper

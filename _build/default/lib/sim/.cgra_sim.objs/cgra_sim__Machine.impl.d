@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Cgra_arch Cgra_dfg Coord Grid Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Cgra_arch Cgra_dfg

@@ -1,0 +1,30 @@
+open Cgra_dfg
+
+let against_oracle (m : Cgra_mapper.Mapping.t) init ~iterations =
+  let mem_sim = Memory.copy init in
+  let mem_ref = Memory.copy init in
+  let report = Exec.run m mem_sim ~iterations in
+  let oracle = Interp.run_history m.graph mem_ref ~iterations in
+  let errors = ref (List.rev report.violations) in
+  let err s = errors := s :: !errors in
+  let mismatches = ref 0 in
+  for i = 0 to iterations - 1 do
+    Array.iteri
+      (fun v expected ->
+        let got = report.values.(i).(v) in
+        if got <> expected then begin
+          incr mismatches;
+          if !mismatches <= 5 then
+            err
+              (Printf.sprintf "node %d iter %d: simulator %d, oracle %d" v i got
+                 expected)
+        end)
+      oracle.(i)
+  done;
+  if !mismatches > 5 then
+    err (Printf.sprintf "... %d value mismatches in total" !mismatches);
+  List.iter
+    (fun (array, idx, simv, refv) ->
+      err (Printf.sprintf "memory %s[%d]: simulator %d, oracle %d" array idx simv refv))
+    (Memory.diff mem_sim mem_ref);
+  match List.rev !errors with [] -> Ok () | es -> Error es

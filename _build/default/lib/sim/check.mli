@@ -1,0 +1,15 @@
+(** Oracle equivalence: a mapped (or PageMaster-transformed) schedule must
+    compute exactly what the sequential interpreter computes — same value
+    for every node instance, same final memory, and zero dynamic
+    violations.  This is the end-to-end proof the test-suite leans on:
+    compile, shrink, execute, compare. *)
+
+val against_oracle :
+  Cgra_mapper.Mapping.t ->
+  Cgra_dfg.Memory.t ->
+  iterations:int ->
+  (unit, string list) result
+(** [against_oracle m init ~iterations] runs the simulator and the
+    interpreter on independent copies of [init] and compares.  The error
+    list contains dynamic violations, value mismatches (first few), and
+    memory differences; [Ok] means bit-exact equivalence. *)

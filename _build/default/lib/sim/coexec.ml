@@ -1,0 +1,120 @@
+open Cgra_arch
+open Cgra_dfg
+open Cgra_mapper
+
+type report = {
+  residents : int;
+  hyperperiod : int;
+  ipc : float;
+  utilization : float;
+}
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let lcm a b = a / gcd a b * b
+
+let occupants (m : Mapping.t) =
+  let ops =
+    Array.to_list m.placements
+    |> List.filter_map (fun pl -> pl)
+  in
+  let hops = List.concat_map (fun (r : Mapping.route) -> r.hops) m.routes in
+  ops @ hops
+
+let check ?(check_mem = true) mappings =
+  match mappings with
+  | [] -> Error [ "Coexec.check: no residents" ]
+  | first :: rest ->
+      let errs = ref [] in
+      let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+      let arch = first.Mapping.arch in
+      List.iter
+        (fun (m : Mapping.t) ->
+          if m.arch != arch && m.arch <> arch then err "residents target different fabrics")
+        rest;
+      (* spatial disjointness: no PE may be touched by two residents
+         (regardless of slot: residents run different IIs, so any shared
+         PE eventually collides) *)
+      let owner = Hashtbl.create 64 in
+      List.iteri
+        (fun who (m : Mapping.t) ->
+          List.iter
+            (fun (p : Mapping.placement) ->
+              let idx = Grid.index arch.Cgra.grid p.pe in
+              match Hashtbl.find_opt owner idx with
+              | Some other when other <> who ->
+                  err "residents %d and %d share PE %s" other who (Coord.to_string p.pe)
+              | Some _ | None -> Hashtbl.replace owner idx who)
+            (occupants m))
+        mappings;
+      (* row-bus capacity over the hyperperiod *)
+      let hyperperiod =
+        List.fold_left (fun acc (m : Mapping.t) -> lcm acc m.ii) 1 mappings
+      in
+      if check_mem then begin
+        let use = Hashtbl.create 64 in
+        List.iter
+          (fun (m : Mapping.t) ->
+            Array.iteri
+              (fun v pl ->
+                match pl with
+                | Some (p : Mapping.placement)
+                  when Op.is_mem (Graph.node m.graph v).op ->
+                    let slot = p.time mod m.ii in
+                    let rec mark c =
+                      if c < hyperperiod then begin
+                        let key = (p.pe.Coord.row, c) in
+                        let n = Option.value ~default:0 (Hashtbl.find_opt use key) in
+                        Hashtbl.replace use key (n + 1);
+                        mark (c + m.ii)
+                      end
+                    in
+                    mark slot
+                | Some _ | None -> ())
+              m.placements)
+          mappings;
+        Hashtbl.iter
+          (fun (row, c) n ->
+            if n > arch.Cgra.mem_ports_per_row then
+              err "row %d cycle %d (mod %d): %d memory ops on a %d-port bus" row c
+                hyperperiod n arch.Cgra.mem_ports_per_row)
+          use
+      end;
+      if !errs <> [] then Error (List.rev !errs)
+      else begin
+        let ops_of (m : Mapping.t) =
+          Array.fold_left
+            (fun acc pl -> match pl with Some _ -> acc + 1 | None -> acc)
+            0 m.placements
+        in
+        let ipc =
+          List.fold_left
+            (fun acc (m : Mapping.t) ->
+              acc +. (float_of_int (ops_of m) /. float_of_int m.ii))
+            0.0 mappings
+        in
+        Ok
+          {
+            residents = List.length mappings;
+            hyperperiod;
+            ipc;
+            utilization = ipc /. float_of_int (Cgra.pe_count arch);
+          }
+      end
+
+let simulate residents ~iterations =
+  match check ~check_mem:false (List.map fst residents) with
+  | Error es -> Error es
+  | Ok _ ->
+      let failures =
+        List.concat_map
+          (fun ((m : Mapping.t), mem) ->
+            match Check.against_oracle m mem ~iterations with
+            | Ok () -> []
+            | Error es ->
+                List.map
+                  (fun e -> Printf.sprintf "%s: %s" (Graph.name m.graph) e)
+                  es)
+          residents
+      in
+      if failures = [] then Ok () else Error failures

@@ -1,0 +1,33 @@
+(** Co-residency of several kernels on one fabric — the melded schedules
+    of Section V ("combine them to create one schedule that uses the
+    entire CGRA, but still satisfies all the dependencies of the input
+    schedules").
+
+    Residents occupy disjoint PEs (the allocator hands out disjoint page
+    ranges), so their dataflow cannot interfere; what they {e do} share
+    is the per-row memory buses.  {!check} verifies spatial disjointness
+    and bus capacity over the combined hyperperiod, and reports the
+    aggregate IPC and utilization of Section IV; {!simulate} runs every
+    resident cycle-accurately against its own oracle (threads have
+    private memory). *)
+
+type report = {
+  residents : int;
+  hyperperiod : int;  (** lcm of the residents' IIs (bus-check window) *)
+  ipc : float;  (** aggregate ops per cycle, Section IV *)
+  utilization : float;  (** aggregate PE utilization *)
+}
+
+val check :
+  ?check_mem:bool -> Cgra_mapper.Mapping.t list -> (report, string list) result
+(** All mappings must target the same fabric.  Errors list PE slot
+    overlaps between residents and row-bus over-subscriptions
+    ([check_mem:false] skips the latter, as for transformed schedules —
+    see [Mapping.validate]). *)
+
+val simulate :
+  (Cgra_mapper.Mapping.t * Cgra_dfg.Memory.t) list ->
+  iterations:int ->
+  (unit, string list) result
+(** {!check} (without the bus check) plus a cycle-accurate run of each
+    resident compared against the interpreter. *)

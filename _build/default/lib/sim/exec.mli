@@ -1,0 +1,23 @@
+(** Cycle-accurate execution of a mapped kernel.
+
+    Every operation instance [(v, i)] fires at cycle [i*ii + time(v)],
+    every routing-hop instance at its scheduled cycle; values move only
+    through register files within mesh reach.  Prologue and epilogue fall
+    out naturally: early cycles simply have fewer live stages.
+
+    The executor reports {e dynamic} violations (a value read before it
+    was produced, from out of reach, or a memory race) even if it can
+    still limp on numerically — a mapping that validates statically must
+    execute with zero violations, and the test-suite asserts exactly
+    that. *)
+
+type report = {
+  cycles : int;  (** total cycles simulated *)
+  values : int array array;  (** [values.(i).(v)] = result of node v, iteration i *)
+  violations : string list;  (** dynamic physical violations, oldest first *)
+}
+
+val run :
+  Cgra_mapper.Mapping.t -> Cgra_dfg.Memory.t -> iterations:int -> report
+(** Executes [iterations] loop iterations, mutating the given memory.
+    Raises [Invalid_argument] on negative iteration counts. *)

@@ -1,0 +1,70 @@
+open Cgra_arch
+
+type tag =
+  | Value of int * int
+  | Relay of (int * int * int) * int * int
+
+type t = {
+  grid : Grid.t;
+  rf : (int * tag, int * int) Hashtbl.t;  (* (pe index, tag) -> value, cycle *)
+  mem : Cgra_dfg.Memory.t;
+  mem_touch : (string * int, int * bool) Hashtbl.t;
+      (* (array, wrapped index) -> last access cycle, was-write *)
+}
+
+let create grid mem = { grid; rf = Hashtbl.create 256; mem; mem_touch = Hashtbl.create 64 }
+
+let pp_tag = function
+  | Value (v, i) -> Printf.sprintf "node %d iter %d" v i
+  | Relay ((s, d, _), k, i) -> Printf.sprintf "relay %d->%d/%d iter %d" s d k i
+
+let write t ~pe ~tag ~cycle v =
+  Hashtbl.replace t.rf (Grid.index t.grid pe, tag) (v, cycle)
+
+let read t ~reader ~holder ~tag ~cycle =
+  if not (Coord.equal reader holder || Coord.adjacent reader holder) then
+    Error
+      (Printf.sprintf "cycle %d: %s out of reach of %s for %s" cycle
+         (Coord.to_string holder) (Coord.to_string reader) (pp_tag tag))
+  else
+    match Hashtbl.find_opt t.rf (Grid.index t.grid holder, tag) with
+    | None ->
+        Error
+          (Printf.sprintf "cycle %d: %s absent from RF of %s" cycle (pp_tag tag)
+             (Coord.to_string holder))
+    | Some (_, written) when written >= cycle ->
+        Error
+          (Printf.sprintf "cycle %d: %s not yet written (write at %d)" cycle
+             (pp_tag tag) written)
+    | Some (v, _) -> Ok v
+
+let wrap t array i =
+  let arr = Cgra_dfg.Memory.get t.mem array in
+  let len = Array.length arr in
+  let m = i mod len in
+  if m < 0 then m + len else m
+
+let load t ~cycle array i =
+  let key = (array, wrap t array i) in
+  match Hashtbl.find_opt t.mem_touch key with
+  | Some (c, true) when c = cycle ->
+      Error
+        (Printf.sprintf "cycle %d: load of %s[%d] races a same-cycle store" cycle array
+           (snd key))
+  | Some _ | None ->
+      Hashtbl.replace t.mem_touch key (cycle, false);
+      Ok (Cgra_dfg.Memory.load t.mem array i)
+
+let store t ~cycle array i v =
+  let key = (array, wrap t array i) in
+  match Hashtbl.find_opt t.mem_touch key with
+  | Some (c, _) when c = cycle ->
+      Error
+        (Printf.sprintf "cycle %d: store to %s[%d] races a same-cycle access" cycle
+           array (snd key))
+  | Some _ | None ->
+      Hashtbl.replace t.mem_touch key (cycle, true);
+      Cgra_dfg.Memory.store t.mem array i v;
+      Ok ()
+
+let memory t = t.mem

@@ -1,0 +1,37 @@
+(** Dynamic machine state for the cycle-accurate simulator: per-PE
+    register files holding tagged values, and a memory front-end that
+    detects same-cycle read/write races.
+
+    The simulator is execution-driven: values live in the register file of
+    the PE that produced (or relayed) them, and a read succeeds only if the
+    value is present, was written in an earlier cycle, and the reader is
+    the holder itself or one of its mesh neighbours — the physical
+    realizability that [Mapping.validate] promises statically is thus
+    re-checked dynamically. *)
+
+type tag =
+  | Value of int * int  (** node id, iteration *)
+  | Relay of (int * int * int) * int * int
+      (** edge (src node, dst node, operand), hop index, iteration *)
+
+type t
+
+val create : Cgra_arch.Grid.t -> Cgra_dfg.Memory.t -> t
+
+val write : t -> pe:Cgra_arch.Coord.t -> tag:tag -> cycle:int -> int -> unit
+(** Deposit a value in [pe]'s register file. *)
+
+val read :
+  t -> reader:Cgra_arch.Coord.t -> holder:Cgra_arch.Coord.t -> tag:tag -> cycle:int ->
+  (int, string) result
+(** Fetch a value from [holder]'s register file on behalf of an operation
+    executing on [reader] at [cycle].  Errors describe the physical
+    violation (value absent, written this very cycle, or out of reach). *)
+
+val load : t -> cycle:int -> string -> int -> (int, string) result
+(** Memory load; errors on a same-cycle write to the same cell. *)
+
+val store : t -> cycle:int -> string -> int -> int -> (unit, string) result
+(** Memory store; errors on a same-cycle access conflict. *)
+
+val memory : t -> Cgra_dfg.Memory.t

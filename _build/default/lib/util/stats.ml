@@ -1,0 +1,44 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+      exp (logsum /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+      sqrt var
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty"
+  | x :: xs -> List.fold_left max x xs
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+      let arr = Array.of_list xs in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = int_of_float (ceil rank) in
+      if lo = hi then arr.(lo)
+      else
+        let w = rank -. float_of_int lo in
+        ((1.0 -. w) *. arr.(lo)) +. (w *. arr.(hi))
+
+let ratio_percent a b = if b = 0.0 then 0.0 else 100.0 *. a /. b
+
+let improvement_percent ~baseline ~improved =
+  if improved = 0.0 then 0.0 else ((baseline /. improved) -. 1.0) *. 100.0

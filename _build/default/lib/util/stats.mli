@@ -1,0 +1,28 @@
+(** Small statistics helpers shared by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val minimum : float list -> float
+(** Smallest element; raises [Invalid_argument] on the empty list. *)
+
+val maximum : float list -> float
+(** Largest element; raises [Invalid_argument] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on the empty list. *)
+
+val ratio_percent : float -> float -> float
+(** [ratio_percent a b] is [100 * a / b]; 0 when [b = 0]. *)
+
+val improvement_percent : baseline:float -> improved:float -> float
+(** Speed-up of [improved] over [baseline], as a percentage:
+    [(baseline / improved - 1) * 100] when both are times (lower = better).
+    0 when [improved = 0]. *)

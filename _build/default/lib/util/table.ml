@@ -1,0 +1,38 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(align = []) ~header rows =
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows
+  in
+  let get xs i = match List.nth_opt xs i with Some x -> x | None -> "" in
+  let col_align i =
+    match List.nth_opt align i with
+    | Some a -> a
+    | None -> if i = 0 then Left else Right
+  in
+  let width i =
+    List.fold_left
+      (fun acc r -> max acc (String.length (get r i)))
+      (String.length (get header i))
+      rows
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i w -> pad (col_align i) w (get row i)) widths)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let fmt_float ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_percent ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals x

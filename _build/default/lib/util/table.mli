@@ -1,0 +1,17 @@
+(** Plain-text table rendering for the experiment harness.
+
+    The bench harness prints the same rows/series the paper's figures show;
+    this module keeps that output aligned and diff-friendly. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with a header rule.  [align]
+    gives per-column alignment (default: first column left, rest right);
+    missing entries default to [Right]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 1 decimal. *)
+
+val fmt_percent : ?decimals:int -> float -> string
+(** Like {!fmt_float} with a ["%"] suffix. *)

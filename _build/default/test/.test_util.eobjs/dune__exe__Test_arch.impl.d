@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array Cgra Cgra_arch Coord Grid List Orient Page Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_coexec.ml: Alcotest Allocator Cgra Cgra_arch Cgra_core Cgra_dfg Cgra_kernels Cgra_mapper Cgra_sim Coord Grid List Mapping Option Page Scheduler String Transform

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Analysis Array Builder Cgra_dfg Cgra_kernels Dot Graph Interp List Memdep Memory Op QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Cgra_core Experiments Float Lazy List Printf Result String

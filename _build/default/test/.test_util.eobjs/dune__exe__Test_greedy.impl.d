@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Array Cgra_core Float Greedy Hashtbl List Printf QCheck QCheck_alcotest Transform

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Analysis Array Cgra_dfg Cgra_kernels Graph Hashtbl Interp Kernels List Memory Op Option Printf String

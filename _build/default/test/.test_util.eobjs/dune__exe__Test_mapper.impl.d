@@ -1,0 +1,1 @@
+test/test_mapper.ml: Alcotest Array Cgra Cgra_arch Cgra_dfg Cgra_kernels Cgra_mapper Coord Graph Grid List Mapping Op Option Page Printf QCheck QCheck_alcotest Router Scheduler String

@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Array Cgra Cgra_arch Cgra_isa Cgra_kernels Cgra_mapper Cgra_sim Cgra_util Coord Grid Hashtbl Lazy List Mapping Option Scheduler

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cgra_util Fun Int List Pqueue QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,131 @@
+open Cgra_arch
+open Cgra_mapper
+open Cgra_core
+
+let arch size page_pes = Option.get (Cgra.standard ~size ~page_pes)
+
+let map_ok a name =
+  let k = Cgra_kernels.Kernels.find_exn name in
+  match Scheduler.map Paged a k.graph with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "map %s: %s" name e
+
+(* place kernels side by side through the allocator + fold *)
+let residents a names =
+  let al = Allocator.create ~total_pages:(Cgra.n_pages a) () in
+  List.mapi
+    (fun i name ->
+      let m = map_ok a name in
+      let n = Mapping.n_pages_used m in
+      match Allocator.request al ~client:i ~desired:n with
+      | None -> Alcotest.failf "no pages for %s" name
+      | Some r -> (
+          match
+            Transform.fold ~base_page:r.Allocator.base ~target_pages:r.Allocator.len m
+          with
+          | Ok sh -> (name, sh)
+          | Error e -> Alcotest.failf "fold %s: %s" name e))
+    names
+
+let test_disjoint_residents_pass () =
+  let a = arch 8 4 in
+  let rs = residents a [ "mpeg"; "gsr"; "wavelet" ] in
+  match Cgra_sim.Coexec.check ~check_mem:false (List.map (fun (_, sh) -> sh.Transform.mapping) rs) with
+  | Ok rep ->
+      Alcotest.(check int) "residents" 3 rep.residents;
+      Alcotest.(check bool) "aggregate IPC positive" true (rep.ipc > 0.0);
+      Alcotest.(check bool) "utilization in (0,1]" true
+        (rep.utilization > 0.0 && rep.utilization <= 1.0)
+  | Error es -> Alcotest.failf "check failed: %s" (List.hd es)
+
+let test_overlap_detected () =
+  let a = arch 8 4 in
+  let m = map_ok a "mpeg" in
+  (* the same mapping twice occupies the same PEs *)
+  match Cgra_sim.Coexec.check ~check_mem:false [ m; m ] with
+  | Error es ->
+      Alcotest.(check bool) "mentions sharing" true
+        (List.exists
+           (fun e ->
+             let has sub s =
+               let n = String.length sub in
+               let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+               go 0
+             in
+             has "share PE" e)
+           es)
+  | Ok _ -> Alcotest.fail "shared PEs must be rejected"
+
+let test_empty_rejected () =
+  match Cgra_sim.Coexec.check [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty resident list"
+
+let test_hyperperiod_lcm () =
+  let a = arch 8 4 in
+  let rs = residents a [ "mpeg"; "sor" ] in
+  match Cgra_sim.Coexec.check ~check_mem:false (List.map (fun (_, sh) -> sh.Transform.mapping) rs) with
+  | Ok rep ->
+      let iis = List.map (fun (_, sh) -> sh.Transform.mapping.Mapping.ii) rs in
+      List.iter
+        (fun ii -> Alcotest.(check int) "divides hyperperiod" 0 (rep.hyperperiod mod ii))
+        iis
+  | Error es -> Alcotest.failf "%s" (List.hd es)
+
+let test_coresident_simulation () =
+  let a = arch 8 4 in
+  let rs = residents a [ "mpeg"; "gsr"; "wavelet"; "histeq" ] in
+  let exact =
+    List.filter (fun (_, sh) -> sh.Transform.pe_exact) rs
+    |> List.map (fun (name, sh) ->
+           ( sh.Transform.mapping,
+             Cgra_kernels.Kernels.init_memory (Cgra_kernels.Kernels.find_exn name) ))
+  in
+  Alcotest.(check bool) "at least two exact residents" true (List.length exact >= 2);
+  match Cgra_sim.Coexec.simulate exact ~iterations:20 with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "simulation: %s" (List.hd es)
+
+let test_bus_check_over_hyperperiod () =
+  (* two manual single-op mappings on different pages but the same row
+     exceed a 1-port bus when their slots align *)
+  let pages = Page.rect (Grid.square 4) ~tile_rows:2 ~tile_cols:2 in
+  let a = Cgra.make ~mem_ports_per_row:1 pages in
+  let g =
+    Cgra_dfg.Graph.create ~name:"ld"
+      ~ops:[ Cgra_dfg.Op.Load { array = "x"; offset = 0; stride = 1 } ]
+      ~edges:[]
+  in
+  let mk col =
+    {
+      Mapping.arch = a;
+      graph = g;
+      ii = 1;
+      placements = [| Some { Mapping.pe = Coord.make ~row:0 ~col; time = 0 } |];
+      routes = [];
+      paged = false;
+    }
+  in
+  (match Cgra_sim.Coexec.check [ mk 0; mk 2 ] with
+  | Error es ->
+      Alcotest.(check bool) "bus over-subscription reported" true
+        (List.exists (fun e -> String.length e > 0) es)
+  | Ok _ -> Alcotest.fail "1-port bus cannot serve two loads per cycle");
+  match Cgra_sim.Coexec.check ~check_mem:false [ mk 0; mk 2 ] with
+  | Ok _ -> ()
+  | Error es -> Alcotest.failf "check_mem:false should pass: %s" (List.hd es)
+
+let () =
+  Alcotest.run "coexec"
+    [
+      ( "co-residency",
+        [
+          Alcotest.test_case "disjoint residents pass" `Quick test_disjoint_residents_pass;
+          Alcotest.test_case "overlap detected" `Quick test_overlap_detected;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "hyperperiod is an lcm" `Quick test_hyperperiod_lcm;
+          Alcotest.test_case "co-resident simulation" `Quick test_coresident_simulation;
+          Alcotest.test_case "bus check over hyperperiod" `Quick
+            test_bus_check_over_hyperperiod;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+open Cgra_dfg
+open Cgra_kernels
+
+(* Does the graph contain a dependence cycle (through loop-carried
+   edges)?  The [recurrent] flag must agree with this. *)
+let has_cycle g =
+  let comp = Analysis.sccs g in
+  let sizes = Hashtbl.create 8 in
+  Array.iter
+    (fun c -> Hashtbl.replace sizes c (1 + Option.value ~default:0 (Hashtbl.find_opt sizes c)))
+    comp;
+  let multi = Hashtbl.fold (fun _ n acc -> acc || n > 1) sizes false in
+  multi
+  || List.exists (fun (e : Graph.edge) -> e.src = e.dst) (Graph.edges g)
+
+let test_suite_size () =
+  Alcotest.(check int) "eleven kernels" 11 (List.length Kernels.all);
+  Alcotest.(check int) "distinct names" 11
+    (List.length (List.sort_uniq String.compare Kernels.names))
+
+let test_expected_names () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true (Kernels.find name <> None))
+    [ "mpeg"; "yuv2rgb"; "sor"; "compress"; "gsr"; "laplace"; "lowpass"; "swim";
+      "sobel"; "wavelet"; "histeq" ]
+
+let test_find_unknown () =
+  Alcotest.(check bool) "unknown" true (Kernels.find "fft" = None);
+  Alcotest.check_raises "find_exn" (Invalid_argument "Kernels.find_exn: unknown kernel fft")
+    (fun () -> ignore (Kernels.find_exn "fft"))
+
+let test_realistic_sizes () =
+  List.iter
+    (fun (k : Kernels.t) ->
+      let n = Graph.n_nodes k.graph in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has 8..40 ops (got %d)" k.name n)
+        true (n >= 8 && n <= 40);
+      Alcotest.(check bool) (k.name ^ " has a store") true
+        (List.exists (fun (nd : Graph.node) -> Op.is_store nd.op) (Graph.nodes k.graph)))
+    Kernels.all
+
+let test_recurrent_flags () =
+  List.iter
+    (fun (k : Kernels.t) ->
+      Alcotest.(check bool)
+        (k.name ^ " recurrent flag matches cycle structure")
+        k.recurrent (has_cycle k.graph))
+    Kernels.all
+
+let test_expected_rec_mii () =
+  let expect = [ ("sor", 3); ("compress", 4); ("gsr", 2); ("swim", 2); ("histeq", 1) ] in
+  List.iter
+    (fun (name, mii) ->
+      let k = Kernels.find_exn name in
+      Alcotest.(check int) (name ^ " RecMII") mii (Analysis.rec_mii k.graph))
+    expect
+
+let test_acyclic_kernels_recmii_one () =
+  List.iter
+    (fun name ->
+      let k = Kernels.find_exn name in
+      Alcotest.(check int) (name ^ " RecMII = 1") 1 (Analysis.rec_mii k.graph))
+    [ "mpeg"; "yuv2rgb"; "laplace"; "lowpass"; "sobel"; "wavelet" ]
+
+let test_wavelet_carried_but_acyclic () =
+  let k = Kernels.find_exn "wavelet" in
+  Alcotest.(check bool) "has a carried edge" true (Graph.max_distance k.graph >= 1);
+  Alcotest.(check bool) "not recurrent" false k.recurrent
+
+let test_init_memory_covers_arrays () =
+  List.iter
+    (fun (k : Kernels.t) ->
+      let mem = Kernels.init_memory k in
+      (* executing must not hit a missing array *)
+      Interp.run k.graph mem ~iterations:8)
+    Kernels.all
+
+let test_init_memory_deterministic () =
+  let k = Kernels.find_exn "mpeg" in
+  let a = Kernels.init_memory ~seed:5 k and b = Kernels.init_memory ~seed:5 k in
+  Alcotest.(check bool) "same seed same data" true (Memory.equal a b);
+  let c = Kernels.init_memory ~seed:6 k in
+  Alcotest.(check bool) "different seed differs" false (Memory.equal a c)
+
+let test_kernels_have_observable_effect () =
+  List.iter
+    (fun (k : Kernels.t) ->
+      let mem = Kernels.init_memory k in
+      let before = Memory.copy mem in
+      Interp.run k.graph mem ~iterations:8;
+      Alcotest.(check bool) (k.name ^ " writes memory") false (Memory.equal before mem))
+    Kernels.all
+
+let test_mpeg_semantics () =
+  (* mpeg: out = clamp8(((ref0 + ref1 + 1) >> 1) + resid) *)
+  let k = Kernels.find_exn "mpeg" in
+  let mem =
+    Memory.create
+      [
+        ("ref0", [| 10; 100 |]);
+        ("ref1", [| 20; 101 |]);
+        ("resid", [| 5; 200 |]);
+        ("out", Array.make 2 0);
+      ]
+  in
+  Interp.run k.graph mem ~iterations:2;
+  Alcotest.(check (array int)) "motion compensation" [| 20; 255 |] (Memory.get mem "out")
+
+let test_lowpass_semantics () =
+  (* constant input stays constant under a normalized FIR *)
+  let k = Kernels.find_exn "lowpass" in
+  let mem =
+    Memory.create [ ("signal", Array.make 16 64); ("filtered", Array.make 16 0) ]
+  in
+  Interp.run k.graph mem ~iterations:8;
+  Array.iteri
+    (fun i v -> if i < 8 then Alcotest.(check int) "dc gain 1" 64 v)
+    (Memory.get mem "filtered")
+
+let test_histeq_running_peak () =
+  let k = Kernels.find_exn "histeq" in
+  let lut = Array.init 256 (fun i -> 255 - i) in
+  let mem =
+    Memory.create
+      [
+        ("img", [| 0; 10; 5 |]);
+        ("lut", lut);
+        ("out", Array.make 3 0);
+        ("blend", Array.make 3 0);
+        ("peak", Array.make 1 0);
+      ]
+  in
+  Interp.run k.graph mem ~iterations:3;
+  Alcotest.(check (array int)) "lookup applied" [| 255; 245; 250 |] (Memory.get mem "out");
+  Alcotest.(check int) "running max" 255 (Memory.get mem "peak").(0)
+
+let test_sor_converges_smoother () =
+  (* after a sweep, values move toward neighbours: just check effect and
+     determinism across runs with the same memory *)
+  let k = Kernels.find_exn "sor" in
+  let mem = Memory.create [ ("grid", Array.init 16 (fun i -> i * 10)) ] in
+  let h = Interp.run_history k.graph mem ~iterations:4 in
+  Alcotest.(check int) "iterations recorded" 4 (Array.length h)
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "size" `Quick test_suite_size;
+          Alcotest.test_case "expected names" `Quick test_expected_names;
+          Alcotest.test_case "find unknown" `Quick test_find_unknown;
+          Alcotest.test_case "realistic sizes" `Quick test_realistic_sizes;
+          Alcotest.test_case "recurrent flags" `Quick test_recurrent_flags;
+          Alcotest.test_case "expected RecMII" `Quick test_expected_rec_mii;
+          Alcotest.test_case "acyclic RecMII = 1" `Quick test_acyclic_kernels_recmii_one;
+          Alcotest.test_case "wavelet carried but acyclic" `Quick
+            test_wavelet_carried_but_acyclic;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "init_memory covers arrays" `Quick
+            test_init_memory_covers_arrays;
+          Alcotest.test_case "init_memory deterministic" `Quick
+            test_init_memory_deterministic;
+          Alcotest.test_case "observable effect" `Quick test_kernels_have_observable_effect;
+          Alcotest.test_case "mpeg semantics" `Quick test_mpeg_semantics;
+          Alcotest.test_case "lowpass dc gain" `Quick test_lowpass_semantics;
+          Alcotest.test_case "histeq running peak" `Quick test_histeq_running_peak;
+          Alcotest.test_case "sor history" `Quick test_sor_converges_smoother;
+        ] );
+    ]

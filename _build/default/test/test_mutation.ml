@@ -1,0 +1,157 @@
+(* Failure injection: mutate valid schedules and check that the static
+   validator and the cycle-accurate machine agree.
+
+   The key soundness property: if [Mapping.validate] accepts a schedule,
+   executing it must reproduce the sequential oracle bit-for-bit.  Any
+   mutation that slips past validation but breaks execution exposes a
+   validator hole; the fuzzer below hunts for exactly that.  (The reverse
+   — a mutation the validator rejects — is the common case and needs no
+   further checking.) *)
+
+open Cgra_arch
+open Cgra_mapper
+
+let arch = lazy (Option.get (Cgra.standard ~size:4 ~page_pes:4))
+
+let map_ok name =
+  let k = Cgra_kernels.Kernels.find_exn name in
+  match Scheduler.map Scheduler.Unconstrained (Lazy.force arch) k.graph with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "map %s: %s" name e
+
+type mutation =
+  | Move_op  (* relocate one op to a random PE/time *)
+  | Retime_op  (* shift one op in time *)
+  | Drop_route  (* delete a routing chain *)
+  | Swap_ops  (* exchange two ops' placements *)
+  | Retime_hop  (* shift a routing hop *)
+
+let mutations = [| Move_op; Retime_op; Drop_route; Swap_ops; Retime_hop |]
+
+let placed_nodes (m : Mapping.t) =
+  let acc = ref [] in
+  Array.iteri (fun v pl -> if pl <> None then acc := v :: !acc) m.placements;
+  Array.of_list (List.rev !acc)
+
+let mutate rng (m : Mapping.t) =
+  let placements = Array.copy m.placements in
+  let routes = ref m.routes in
+  let grid = m.arch.Cgra.grid in
+  let nodes = placed_nodes m in
+  let random_node () = Cgra_util.Rng.choose rng nodes in
+  (match Cgra_util.Rng.choose rng mutations with
+  | Move_op ->
+      let v = random_node () in
+      let pe =
+        Coord.make
+          ~row:(Cgra_util.Rng.int rng grid.Grid.rows)
+          ~col:(Cgra_util.Rng.int rng grid.Grid.cols)
+      in
+      let time = Cgra_util.Rng.int rng (Mapping.schedule_length m + 2) in
+      placements.(v) <- Some { Mapping.pe; time }
+  | Retime_op ->
+      let v = random_node () in
+      let delta = Cgra_util.Rng.int_in rng (-3) 3 in
+      placements.(v) <-
+        Option.map
+          (fun (p : Mapping.placement) -> { p with time = max 0 (p.time + delta) })
+          placements.(v)
+  | Drop_route -> (
+      match !routes with
+      | [] -> ()
+      | rs ->
+          let i = Cgra_util.Rng.int rng (List.length rs) in
+          routes := List.filteri (fun j _ -> j <> i) rs)
+  | Swap_ops ->
+      let a = random_node () and b = random_node () in
+      let tmp = placements.(a) in
+      placements.(a) <- placements.(b);
+      placements.(b) <- tmp
+  | Retime_hop -> (
+      match !routes with
+      | [] -> ()
+      | rs ->
+          let i = Cgra_util.Rng.int rng (List.length rs) in
+          routes :=
+            List.mapi
+              (fun j (r : Mapping.route) ->
+                if j <> i || r.hops = [] then r
+                else
+                  let k = Cgra_util.Rng.int rng (List.length r.hops) in
+                  let delta = Cgra_util.Rng.int_in rng (-2) 2 in
+                  {
+                    r with
+                    hops =
+                      List.mapi
+                        (fun l (h : Mapping.placement) ->
+                          if l = k then { h with time = max 0 (h.time + delta) } else h)
+                        r.hops;
+                  })
+              rs));
+  { m with placements; routes = !routes }
+
+(* one fuzzing campaign over one kernel *)
+let fuzz_kernel ?(trials = 120) name =
+  let m = map_ok name in
+  let k = Cgra_kernels.Kernels.find_exn name in
+  let rng = Cgra_util.Rng.create ~seed:(Hashtbl.hash name) in
+  let accepted = ref 0 and rejected = ref 0 in
+  for _ = 1 to trials do
+    let m' = mutate rng m in
+    match Mapping.validate m' with
+    | Error _ -> incr rejected
+    | Ok () -> (
+        incr accepted;
+        (* soundness: the machine must agree with the oracle *)
+        let mem = Cgra_kernels.Kernels.init_memory k in
+        match Cgra_sim.Check.against_oracle m' mem ~iterations:16 with
+        | Ok () -> ()
+        | Error es ->
+            Alcotest.failf "%s: validator accepted a broken schedule: %s" name
+              (List.hd es))
+  done;
+  (!accepted, !rejected)
+
+let test_soundness name () = ignore (fuzz_kernel name)
+
+let test_mutations_mostly_caught () =
+  (* sanity on the fuzzer itself: mutations must actually break things
+     often, or the campaign tests nothing *)
+  let _, rejected = fuzz_kernel ~trials:200 "laplace" in
+  Alcotest.(check bool) "fuzzer produces invalid schedules" true (rejected > 100)
+
+let test_isa_agrees_on_accepted_mutants () =
+  (* harsher variant: accepted mutants must also survive the encode +
+     decoder-machine path *)
+  let m = map_ok "mpeg" in
+  let k = Cgra_kernels.Kernels.find_exn "mpeg" in
+  let rng = Cgra_util.Rng.create ~seed:99 in
+  for _ = 1 to 120 do
+    let m' = mutate rng m in
+    if Mapping.validate m' = Ok () then begin
+      let mem = Cgra_kernels.Kernels.init_memory k in
+      match Cgra_isa.Exec_image.check m' mem ~iterations:12 with
+      | Ok _ -> ()
+      | Error es ->
+          Alcotest.failf "decoder machine disagrees on accepted mutant: %s"
+            (List.hd es)
+    end
+  done
+
+let () =
+  Alcotest.run "mutation"
+    [
+      ( "validator-soundness",
+        [
+          Alcotest.test_case "mpeg" `Quick (test_soundness "mpeg");
+          Alcotest.test_case "laplace" `Quick (test_soundness "laplace");
+          Alcotest.test_case "sor (recurrence)" `Quick (test_soundness "sor");
+          Alcotest.test_case "swim (memdep)" `Quick (test_soundness "swim");
+          Alcotest.test_case "sobel (routes)" `Quick (test_soundness "sobel");
+          Alcotest.test_case "histeq (dynamic mem)" `Quick (test_soundness "histeq");
+          Alcotest.test_case "fuzzer really mutates" `Quick
+            test_mutations_mostly_caught;
+          Alcotest.test_case "decoder machine agrees" `Quick
+            test_isa_agrees_on_accepted_mutants;
+        ] );
+    ]

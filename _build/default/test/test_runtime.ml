@@ -1,0 +1,489 @@
+open Cgra_arch
+open Cgra_core
+
+let arch size page_pes = Option.get (Cgra.standard ~size ~page_pes)
+
+let suite_for a =
+  match Binary.compile_suite a with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "compile_suite: %s" e
+
+let suite_4x4_p4 = lazy (suite_for (arch 4 4))
+
+(* ---------- Allocator ---------- *)
+
+let ranges_cover_and_disjoint (al : Allocator.t) total =
+  let covered = Array.make total 0 in
+  List.iter
+    (fun (_, (r : Allocator.range)) ->
+      for i = r.base to r.base + r.len - 1 do
+        covered.(i) <- covered.(i) + 1
+      done)
+    (Allocator.clients al);
+  Array.for_all (fun c -> c <= 1) covered
+
+let test_alloc_simple_request () =
+  let al = Allocator.create ~total_pages:8 () in
+  (match Allocator.request al ~client:1 ~desired:3 with
+  | Some r -> Alcotest.(check int) "granted 3" 3 r.len
+  | None -> Alcotest.fail "request failed");
+  Alcotest.(check int) "free" 5 (Allocator.free_pages al)
+
+let test_alloc_fits_unused_portion () =
+  (* the paper: a kernel that fits in the unused portion disturbs no one *)
+  let al = Allocator.create ~total_pages:8 () in
+  let r1 = Option.get (Allocator.request al ~client:1 ~desired:3) in
+  let r2 = Option.get (Allocator.request al ~client:2 ~desired:4) in
+  Alcotest.(check int) "client 1 untouched" 3
+    (Option.get (Allocator.allocation al ~client:1)).len;
+  Alcotest.(check bool) "disjoint" true (ranges_cover_and_disjoint al 8);
+  ignore (r1, r2)
+
+let test_alloc_halving_preemption () =
+  let al = Allocator.create ~total_pages:8 () in
+  let _ = Option.get (Allocator.request al ~client:1 ~desired:8) in
+  (* fabric full: next request halves the big holder *)
+  let r2 = Option.get (Allocator.request al ~client:2 ~desired:8) in
+  let r1 = Option.get (Allocator.allocation al ~client:1) in
+  Alcotest.(check int) "victim halved" 4 r1.len;
+  Alcotest.(check int) "newcomer gets the other half" 4 r2.len;
+  Alcotest.(check bool) "disjoint" true (ranges_cover_and_disjoint al 8)
+
+let test_alloc_exhaustion () =
+  let al = Allocator.create ~total_pages:2 () in
+  let _ = Option.get (Allocator.request al ~client:1 ~desired:1) in
+  let _ = Option.get (Allocator.request al ~client:2 ~desired:1) in
+  (* everyone at one page: nothing can shrink *)
+  Alcotest.(check bool) "third must wait" true
+    (Allocator.request al ~client:3 ~desired:1 = None)
+
+let test_alloc_release_merges () =
+  let al = Allocator.create ~total_pages:8 () in
+  let _ = Option.get (Allocator.request al ~client:1 ~desired:4) in
+  let _ = Option.get (Allocator.request al ~client:2 ~desired:4) in
+  Allocator.release al ~client:1;
+  Allocator.release al ~client:2;
+  (match Allocator.request al ~client:3 ~desired:8 with
+  | Some r -> Alcotest.(check int) "whole fabric again" 8 r.len
+  | None -> Alcotest.fail "merge failed")
+
+let test_alloc_expand_after_release () =
+  let al = Allocator.create ~total_pages:8 () in
+  let _ = Option.get (Allocator.request al ~client:1 ~desired:8) in
+  let _ = Option.get (Allocator.request al ~client:2 ~desired:8) in
+  (* both now at 4; client 2 leaves; client 1 should expand back to 8 *)
+  Allocator.release al ~client:2;
+  let grants = Allocator.expand al in
+  Alcotest.(check bool) "client 1 expanded" true
+    (List.exists (fun (c, (r : Allocator.range)) -> c = 1 && r.len = 8) grants)
+
+let test_alloc_expand_respects_desired () =
+  let al = Allocator.create ~total_pages:8 () in
+  let _ = Option.get (Allocator.request al ~client:1 ~desired:3) in
+  let grants = Allocator.expand al in
+  Alcotest.(check (list (pair int int))) "no over-expansion" []
+    (List.map (fun (c, (r : Allocator.range)) -> (c, r.len)) grants)
+
+let test_alloc_release_unknown () =
+  let al = Allocator.create ~total_pages:4 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       Allocator.release al ~client:9;
+       false
+     with Invalid_argument _ -> true)
+
+let test_alloc_shrunk_clients () =
+  let al = Allocator.create ~total_pages:4 () in
+  let _ = Option.get (Allocator.request al ~client:1 ~desired:4) in
+  let _ = Option.get (Allocator.request al ~client:2 ~desired:2) in
+  let shrunk = Allocator.shrunk_clients al in
+  Alcotest.(check bool) "client 1 is below desire" true
+    (List.exists (fun (c, _) -> c = 1) shrunk)
+
+let test_alloc_repack_policy () =
+  let al = Allocator.create ~policy:Allocator.Repack_equal ~total_pages:9 () in
+  let _ = Option.get (Allocator.request al ~client:1 ~desired:9) in
+  let _ = Option.get (Allocator.request al ~client:2 ~desired:9) in
+  let r3 = Option.get (Allocator.request al ~client:3 ~desired:9) in
+  (* 9 pages over 3 clients: 3 each *)
+  Alcotest.(check int) "equal share" 3 r3.len;
+  List.iter
+    (fun (_, (r : Allocator.range)) -> Alcotest.(check int) "everyone equal" 3 r.len)
+    (Allocator.clients al);
+  Alcotest.(check bool) "disjoint" true (ranges_cover_and_disjoint al 9)
+
+let test_alloc_repack_exhaustion () =
+  let al = Allocator.create ~policy:Allocator.Repack_equal ~total_pages:2 () in
+  let _ = Option.get (Allocator.request al ~client:1 ~desired:2) in
+  let _ = Option.get (Allocator.request al ~client:2 ~desired:2) in
+  Alcotest.(check bool) "third must wait" true
+    (Allocator.request al ~client:3 ~desired:1 = None)
+
+let test_os_reconfig_cost_slows () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads = Workload.generate ~seed:21 ~n_threads:8 ~cgra_need:0.875 ~suite () in
+  let params = { Os_sim.suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  let free = Os_sim.run params in
+  let costly = Os_sim.run ~reconfig_cost:500.0 params in
+  Alcotest.(check bool) "reshapes happened" true (free.transformations > 0);
+  Alcotest.(check bool) "cost slows the system" true (costly.makespan > free.makespan);
+  Alcotest.(check bool) "still terminates" true
+    (List.length costly.finishes = List.length free.finishes)
+
+let test_os_reconfig_cost_zero_is_default () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads = Workload.generate ~seed:22 ~n_threads:4 ~cgra_need:0.75 ~suite () in
+  let params = { Os_sim.suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  Alcotest.(check (float 0.0)) "explicit zero equals default"
+    (Os_sim.run params).makespan
+    (Os_sim.run ~reconfig_cost:0.0 params).makespan
+
+let test_os_repack_policy_runs () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads = Workload.generate ~seed:23 ~n_threads:8 ~cgra_need:0.75 ~suite () in
+  let params = { Os_sim.suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  let halving = Os_sim.run params in
+  let repack = Os_sim.run ~policy:Allocator.Repack_equal params in
+  Alcotest.(check int) "all finish" (List.length halving.finishes)
+    (List.length repack.finishes);
+  Alcotest.(check bool) "repack reshapes at least as much" true
+    (repack.transformations >= halving.transformations)
+
+let prop_alloc_invariants =
+  QCheck.Test.make ~name:"allocator keeps ranges disjoint and in bounds" ~count:100
+    QCheck.(list (pair (int_range 0 5) (int_range 1 8)))
+    (fun ops ->
+      let total = 8 in
+      let al = Allocator.create ~total_pages:total () in
+      let active = Hashtbl.create 8 in
+      let next_id = ref 0 in
+      List.iter
+        (fun (kind, amount) ->
+          if kind <= 3 then begin
+            incr next_id;
+            match Allocator.request al ~client:!next_id ~desired:amount with
+            | Some _ -> Hashtbl.replace active !next_id ()
+            | None -> ()
+          end
+          else begin
+            (match Hashtbl.fold (fun c () _ -> Some c) active None with
+            | Some c ->
+                Allocator.release al ~client:c;
+                Hashtbl.remove active c
+            | None -> ());
+            ignore (Allocator.expand al)
+          end)
+        ops;
+      ranges_cover_and_disjoint al total
+      && List.for_all
+           (fun (_, (r : Allocator.range)) -> r.base >= 0 && r.base + r.len <= total)
+           (Allocator.clients al))
+
+(* ---------- Binary ---------- *)
+
+let test_binary_compile_suite () =
+  let suite = Lazy.force suite_4x4_p4 in
+  Alcotest.(check int) "eleven binaries" 11 (List.length suite);
+  List.iter
+    (fun (b : Binary.t) ->
+      Alcotest.(check bool) (b.name ^ " base valid") true
+        (Cgra_mapper.Mapping.validate b.base = Ok ());
+      Alcotest.(check bool) (b.name ^ " paged valid") true
+        (Cgra_mapper.Mapping.validate b.paged = Ok ()))
+    suite
+
+let test_binary_iteration_cycles () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let b = List.find (fun (b : Binary.t) -> b.name = "laplace") suite in
+  let n = Binary.pages_used b in
+  Alcotest.(check int) "full allocation runs at II_c" (Binary.ii_paged b)
+    (Binary.iteration_cycles b ~pages:n);
+  Alcotest.(check int) "one page costs factor N"
+    (Binary.ii_paged b * n)
+    (Binary.iteration_cycles b ~pages:1)
+
+(* ---------- Thread model & workload ---------- *)
+
+let test_thread_model_accessors () =
+  let t =
+    {
+      Thread_model.id = 7;
+      segments =
+        [
+          Thread_model.Cpu 100;
+          Thread_model.Kernel { kernel = "mpeg"; iterations = 10 };
+          Thread_model.Cpu 50;
+          Thread_model.Kernel { kernel = "sobel"; iterations = 5 };
+          Thread_model.Kernel { kernel = "mpeg"; iterations = 3 };
+        ];
+    }
+  in
+  Alcotest.(check (list string)) "kernels" [ "mpeg"; "sobel" ] (Thread_model.kernel_names t);
+  Alcotest.(check int) "cpu" 150 (Thread_model.total_cpu t);
+  Alcotest.(check (list (pair string int))) "iterations"
+    [ ("mpeg", 13); ("sobel", 5) ]
+    (Thread_model.cgra_iterations t)
+
+let test_workload_deterministic () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let a = Workload.generate ~seed:3 ~n_threads:4 ~cgra_need:0.75 ~suite () in
+  let b = Workload.generate ~seed:3 ~n_threads:4 ~cgra_need:0.75 ~suite () in
+  Alcotest.(check bool) "same workload" true (a = b);
+  let c = Workload.generate ~seed:4 ~n_threads:4 ~cgra_need:0.75 ~suite () in
+  Alcotest.(check bool) "seed changes workload" false (a = c)
+
+let test_workload_need_fraction () =
+  let suite = Lazy.force suite_4x4_p4 in
+  List.iter
+    (fun need ->
+      let threads = Workload.generate ~seed:11 ~n_threads:8 ~cgra_need:need ~suite () in
+      let kernel_cycles =
+        List.fold_left
+          (fun acc (t : Thread_model.t) ->
+            List.fold_left
+              (fun acc (name, iters) ->
+                let b = List.find (fun (b : Binary.t) -> b.name = name) suite in
+                acc + (iters * Binary.ii_base b))
+              acc (Thread_model.cgra_iterations t))
+          0 threads
+      in
+      let cpu_cycles =
+        List.fold_left (fun acc t -> acc + Thread_model.total_cpu t) 0 threads
+      in
+      let measured =
+        float_of_int kernel_cycles /. float_of_int (kernel_cycles + cpu_cycles)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "need %.3f measured %.3f" need measured)
+        true
+        (Float.abs (measured -. need) < 0.08))
+    [ 0.5; 0.75; 0.875 ]
+
+let test_workload_invalid_need () =
+  let suite = Lazy.force suite_4x4_p4 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Workload.generate ~seed:0 ~n_threads:1 ~cgra_need:1.0 ~suite ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Os_sim ---------- *)
+
+let single_kernel_thread ?(id = 0) name iterations =
+  { Thread_model.id; segments = [ Thread_model.Kernel { kernel = name; iterations } ] }
+
+let test_os_single_thread_times () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let b = List.find (fun (b : Binary.t) -> b.name = "laplace") suite in
+  let threads = [ single_kernel_thread "laplace" 10 ] in
+  let single =
+    Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Single }
+  in
+  Alcotest.(check (float 0.01)) "single runs at II_b"
+    (float_of_int (10 * Binary.ii_base b))
+    single.makespan;
+  let multi = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  Alcotest.(check (float 0.01)) "multi alone runs at II_c"
+    (float_of_int (10 * Binary.ii_paged b))
+    multi.makespan
+
+let test_os_single_mode_serializes () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads =
+    [ single_kernel_thread ~id:0 "laplace" 10; single_kernel_thread ~id:1 "laplace" 10 ]
+  in
+  let r = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Single } in
+  let b = List.find (fun (b : Binary.t) -> b.name = "laplace") suite in
+  Alcotest.(check (float 0.01)) "serialized"
+    (float_of_int (2 * 10 * Binary.ii_base b))
+    r.makespan;
+  Alcotest.(check int) "one stall" 1 r.stalls
+
+let test_os_multi_mode_overlaps () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads =
+    [ single_kernel_thread ~id:0 "gsr" 20; single_kernel_thread ~id:1 "gsr" 20 ]
+  in
+  let b = List.find (fun (b : Binary.t) -> b.name = "gsr") suite in
+  (* gsr uses 1 page: both threads run side by side at full paged speed *)
+  let r = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  Alcotest.(check (float 0.01)) "perfect overlap"
+    (float_of_int (20 * Binary.ii_paged b))
+    r.makespan;
+  Alcotest.(check int) "no stalls" 0 r.stalls
+
+let test_os_shrink_on_contention () =
+  let suite = Lazy.force suite_4x4_p4 in
+  (* two threads both wanting the whole 4-page fabric *)
+  let threads =
+    [ single_kernel_thread ~id:0 "swim" 20; single_kernel_thread ~id:1 "swim" 20 ]
+  in
+  let r = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  Alcotest.(check bool) "transformations happened" true (r.transformations > 0);
+  (* space multiplexing is never worse than full serialization at paged
+     speed (equal when both threads need the whole fabric: each runs at
+     half speed on half the pages) *)
+  let b = List.find (fun (b : Binary.t) -> b.name = "swim") suite in
+  Alcotest.(check bool) "no worse than serialization" true
+    (r.makespan <= float_of_int (2 * 20 * Binary.ii_paged b) +. 0.01)
+
+let test_os_total_ops_mode_independent () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads = Workload.generate ~seed:5 ~n_threads:6 ~cgra_need:0.75 ~suite () in
+  let s = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Single } in
+  let m = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  Alcotest.(check (float 0.001)) "same kernel work" s.total_ops m.total_ops
+
+let test_os_all_threads_finish () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads = Workload.generate ~seed:9 ~n_threads:16 ~cgra_need:0.875 ~suite () in
+  let r = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  Alcotest.(check int) "all finish" 16 (List.length r.finishes);
+  List.iter
+    (fun (_, f) -> Alcotest.(check bool) "finite finish" true (f > 0.0 && f <= r.makespan))
+    r.finishes
+
+let test_os_utilization_bounds () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads = Workload.generate ~seed:2 ~n_threads:8 ~cgra_need:0.75 ~suite () in
+  List.iter
+    (fun mode ->
+      let r = Os_sim.run { suite; threads; total_pages = 4; mode } in
+      Alcotest.(check bool) "utilization in [0,1]" true
+        (r.page_utilization >= 0.0 && r.page_utilization <= 1.0 +. 1e-9))
+    [ Os_sim.Single; Os_sim.Multi ]
+
+let test_os_multithreading_wins_under_load () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads = Workload.generate ~seed:1 ~n_threads:8 ~cgra_need:0.875 ~suite () in
+  let s = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Single } in
+  let m = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  Alcotest.(check bool) "positive improvement" true
+    (Os_sim.improvement_percent ~single:s ~multi:m > 0.0)
+
+let test_os_deterministic () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads = Workload.generate ~seed:13 ~n_threads:4 ~cgra_need:0.5 ~suite () in
+  let r1 = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  let r2 = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  Alcotest.(check (float 0.0)) "same makespan" r1.makespan r2.makespan
+
+let test_os_unknown_kernel () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let threads = [ single_kernel_thread "nonexistent" 3 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Single });
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics_ipc () =
+  Alcotest.(check (float 1e-9)) "ipc" 4.5 (Metrics.ipc_of_kernel ~ops:9 ~ii:2);
+  Alcotest.(check (float 1e-9)) "utilization" 0.28125
+    (Metrics.utilization_of_kernel ~ops:9 ~ii:2 ~pes:16)
+
+let test_metrics_identity () =
+  let kernels = [ (9, 2); (14, 3); (22, 4) ] in
+  Alcotest.(check bool) "IPC = N * U_a" true
+    (Metrics.ipc_identity_gap ~pes:16 kernels < 1e-9)
+
+let test_metrics_aggregate () =
+  Alcotest.(check (float 1e-9)) "sum of rates" 7.0
+    (Metrics.aggregate_ipc [ (8, 2); (9, 3) ])
+
+(* ---------- Page_schedule ---------- *)
+
+let test_page_schedule_of_mapping () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let b = List.find (fun (b : Binary.t) -> b.name = "laplace") suite in
+  let ps = Page_schedule.of_mapping b.paged in
+  Alcotest.(check int) "ii" (Binary.ii_paged b) ps.ii;
+  Alcotest.(check int) "pages" (Binary.pages_used b) ps.n_pages;
+  Alcotest.(check bool) "occupancy in (0,1]" true
+    (Page_schedule.occupancy ps > 0.0 && Page_schedule.occupancy ps <= 1.0);
+  (* all non-const ops appear exactly once *)
+  let total =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun a l -> a + List.length l) acc row)
+      0 ps.ops
+  in
+  let non_const =
+    List.length
+      (List.filter
+         (fun (n : Cgra_dfg.Graph.node) ->
+           match n.op with Cgra_dfg.Op.Const _ -> false | _ -> true)
+         (Cgra_dfg.Graph.nodes b.graph))
+  in
+  Alcotest.(check int) "ops accounted" non_const total
+
+let test_page_schedule_pp () =
+  let suite = Lazy.force suite_4x4_p4 in
+  let b = List.hd suite in
+  let ps = Page_schedule.of_mapping b.paged in
+  let s = Format.asprintf "%a" Page_schedule.pp ps in
+  Alcotest.(check bool) "non-empty rendering" true (String.length s > 20)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "allocator",
+        [
+          Alcotest.test_case "simple request" `Quick test_alloc_simple_request;
+          Alcotest.test_case "fits unused portion" `Quick test_alloc_fits_unused_portion;
+          Alcotest.test_case "halving preemption" `Quick test_alloc_halving_preemption;
+          Alcotest.test_case "exhaustion" `Quick test_alloc_exhaustion;
+          Alcotest.test_case "release merges" `Quick test_alloc_release_merges;
+          Alcotest.test_case "expand after release" `Quick test_alloc_expand_after_release;
+          Alcotest.test_case "expand respects desired" `Quick
+            test_alloc_expand_respects_desired;
+          Alcotest.test_case "release unknown" `Quick test_alloc_release_unknown;
+          Alcotest.test_case "shrunk clients" `Quick test_alloc_shrunk_clients;
+          Alcotest.test_case "repack policy" `Quick test_alloc_repack_policy;
+          Alcotest.test_case "repack exhaustion" `Quick test_alloc_repack_exhaustion;
+          QCheck_alcotest.to_alcotest prop_alloc_invariants;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "compile suite" `Quick test_binary_compile_suite;
+          Alcotest.test_case "iteration cycles" `Quick test_binary_iteration_cycles;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "thread model accessors" `Quick test_thread_model_accessors;
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "need fraction" `Quick test_workload_need_fraction;
+          Alcotest.test_case "invalid need" `Quick test_workload_invalid_need;
+        ] );
+      ( "os-sim",
+        [
+          Alcotest.test_case "single thread times" `Quick test_os_single_thread_times;
+          Alcotest.test_case "single mode serializes" `Quick test_os_single_mode_serializes;
+          Alcotest.test_case "multi mode overlaps" `Quick test_os_multi_mode_overlaps;
+          Alcotest.test_case "shrink on contention" `Quick test_os_shrink_on_contention;
+          Alcotest.test_case "total ops mode-independent" `Quick
+            test_os_total_ops_mode_independent;
+          Alcotest.test_case "all threads finish" `Quick test_os_all_threads_finish;
+          Alcotest.test_case "utilization bounds" `Quick test_os_utilization_bounds;
+          Alcotest.test_case "multithreading wins under load" `Quick
+            test_os_multithreading_wins_under_load;
+          Alcotest.test_case "deterministic" `Quick test_os_deterministic;
+          Alcotest.test_case "unknown kernel" `Quick test_os_unknown_kernel;
+          Alcotest.test_case "reconfig cost slows" `Quick test_os_reconfig_cost_slows;
+          Alcotest.test_case "reconfig zero default" `Quick
+            test_os_reconfig_cost_zero_is_default;
+          Alcotest.test_case "repack policy runs" `Quick test_os_repack_policy_runs;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "ipc" `Quick test_metrics_ipc;
+          Alcotest.test_case "IPC = N*U identity" `Quick test_metrics_identity;
+          Alcotest.test_case "aggregate" `Quick test_metrics_aggregate;
+        ] );
+      ( "page-schedule",
+        [
+          Alcotest.test_case "of_mapping" `Quick test_page_schedule_of_mapping;
+          Alcotest.test_case "pp" `Quick test_page_schedule_pp;
+        ] );
+    ]

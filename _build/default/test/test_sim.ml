@@ -1,0 +1,248 @@
+open Cgra_arch
+open Cgra_dfg
+open Cgra_mapper
+open Cgra_sim
+
+let arch size page_pes = Option.get (Cgra.standard ~size ~page_pes)
+
+let map_ok kind a g =
+  match Scheduler.map kind a g with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "map: %s" e
+
+(* ---------- Machine ---------- *)
+
+let pe r c = Coord.make ~row:r ~col:c
+
+let test_machine_write_read () =
+  let m = Machine.create (Grid.square 4) (Memory.create []) in
+  Machine.write m ~pe:(pe 0 0) ~tag:(Machine.Value (1, 0)) ~cycle:3 42;
+  (match Machine.read m ~reader:(pe 0 1) ~holder:(pe 0 0) ~tag:(Machine.Value (1, 0)) ~cycle:4 with
+  | Ok v -> Alcotest.(check int) "neighbour read" 42 v
+  | Error e -> Alcotest.fail e);
+  match Machine.read m ~reader:(pe 0 0) ~holder:(pe 0 0) ~tag:(Machine.Value (1, 0)) ~cycle:5 with
+  | Ok v -> Alcotest.(check int) "self read" 42 v
+  | Error e -> Alcotest.fail e
+
+let test_machine_read_too_early () =
+  let m = Machine.create (Grid.square 4) (Memory.create []) in
+  Machine.write m ~pe:(pe 0 0) ~tag:(Machine.Value (1, 0)) ~cycle:3 42;
+  match Machine.read m ~reader:(pe 0 0) ~holder:(pe 0 0) ~tag:(Machine.Value (1, 0)) ~cycle:3 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "same-cycle read must fail"
+
+let test_machine_read_absent () =
+  let m = Machine.create (Grid.square 4) (Memory.create []) in
+  match Machine.read m ~reader:(pe 0 0) ~holder:(pe 0 0) ~tag:(Machine.Value (9, 9)) ~cycle:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "absent value must fail"
+
+let test_machine_out_of_reach () =
+  let m = Machine.create (Grid.square 4) (Memory.create []) in
+  Machine.write m ~pe:(pe 0 0) ~tag:(Machine.Value (1, 0)) ~cycle:0 7;
+  match Machine.read m ~reader:(pe 3 3) ~holder:(pe 0 0) ~tag:(Machine.Value (1, 0)) ~cycle:2 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "distant read must fail"
+
+let test_machine_memory_race () =
+  let m = Machine.create (Grid.square 4) (Memory.create [ ("a", Array.make 8 0) ]) in
+  (match Machine.store m ~cycle:5 "a" 3 11 with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Machine.load m ~cycle:5 "a" 3 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "load after same-cycle store must fail");
+  (match Machine.load m ~cycle:6 "a" 3 with
+  | Ok v -> Alcotest.(check int) "later load sees store" 11 v
+  | Error e -> Alcotest.fail e);
+  match Machine.store m ~cycle:6 "a" 3 12 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "store after same-cycle load must fail"
+
+let test_machine_memory_wrap () =
+  let m = Machine.create (Grid.square 4) (Memory.create [ ("a", [| 5; 6 |]) ]) in
+  match Machine.load m ~cycle:0 "a" (-1) with
+  | Ok v -> Alcotest.(check int) "wrapped" 6 v
+  | Error e -> Alcotest.fail e
+
+(* ---------- Exec ---------- *)
+
+let test_exec_no_violations_on_valid_mapping () =
+  let k = Cgra_kernels.Kernels.find_exn "laplace" in
+  let m = map_ok Unconstrained (arch 4 4) k.graph in
+  let mem = Cgra_kernels.Kernels.init_memory k in
+  let r = Exec.run m (Memory.copy mem) ~iterations:16 in
+  Alcotest.(check (list string)) "no violations" [] r.violations;
+  Alcotest.(check bool) "cycles cover schedule" true
+    (r.cycles >= (15 * m.ii) + 1)
+
+let test_exec_const_prefill () =
+  let k = Cgra_kernels.Kernels.find_exn "mpeg" in
+  let m = map_ok Unconstrained (arch 4 4) k.graph in
+  let r = Exec.run m (Cgra_kernels.Kernels.init_memory k) ~iterations:2 in
+  (* node 3 of mpeg is `const 1` *)
+  Array.iteri
+    (fun v (n : Graph.node) ->
+      ignore v;
+      match n.op with
+      | Op.Const c -> Alcotest.(check int) "const value recorded" c r.values.(0).(n.id)
+      | _ -> ())
+    (Array.of_list (Graph.nodes m.graph))
+
+let test_exec_zero_iterations () =
+  let k = Cgra_kernels.Kernels.find_exn "mpeg" in
+  let m = map_ok Unconstrained (arch 4 4) k.graph in
+  let r = Exec.run m (Cgra_kernels.Kernels.init_memory k) ~iterations:0 in
+  Alcotest.(check int) "no cycles" 0 r.cycles
+
+let test_exec_rejects_negative () =
+  let k = Cgra_kernels.Kernels.find_exn "mpeg" in
+  let m = map_ok Unconstrained (arch 4 4) k.graph in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Exec.run m (Cgra_kernels.Kernels.init_memory k) ~iterations:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_exec_detects_broken_schedule () =
+  (* sabotage a valid mapping by moving a consumer one cycle too early *)
+  let k = Cgra_kernels.Kernels.find_exn "laplace" in
+  let m = map_ok Unconstrained (arch 4 4) k.graph in
+  (* find a non-mem node with a placed predecessor and pull it to its
+     producer's time *)
+  let victim =
+    List.find_map
+      (fun (e : Graph.edge) ->
+        match (m.placements.(e.src), m.placements.(e.dst)) with
+        | Some pu, Some pv when pv.Mapping.time > pu.Mapping.time && e.distance = 0 ->
+            Some (e.dst, pu.Mapping.time)
+        | _ -> None)
+      (List.filter
+         (fun (e : Graph.edge) ->
+           match (Graph.node m.graph e.src).op with Op.Const _ -> false | _ -> true)
+         (Graph.edges m.graph))
+  in
+  match victim with
+  | None -> Alcotest.fail "no victim edge"
+  | Some (dst, t) ->
+      let placements = Array.copy m.placements in
+      placements.(dst) <-
+        Option.map (fun (p : Mapping.placement) -> { p with time = t }) placements.(dst);
+      let broken = { m with placements } in
+      let r = Exec.run broken (Cgra_kernels.Kernels.init_memory k) ~iterations:4 in
+      Alcotest.(check bool) "violations reported" true (r.violations <> [])
+
+(* ---------- oracle equivalence, the headline result ---------- *)
+
+let iterations = 32
+
+let test_suite_equivalence kind size page_pes () =
+  let a = arch size page_pes in
+  List.iter
+    (fun (k : Cgra_kernels.Kernels.t) ->
+      let m = map_ok kind a k.graph in
+      let mem = Cgra_kernels.Kernels.init_memory k in
+      match Check.against_oracle m mem ~iterations with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "%s: %s" k.name (String.concat "; " es))
+    Cgra_kernels.Kernels.all
+
+let test_fold_ladder_equivalence () =
+  let a = arch 4 4 in
+  List.iter
+    (fun (k : Cgra_kernels.Kernels.t) ->
+      let m = map_ok Paged a k.graph in
+      let rec ladder target =
+        if target >= 1 then begin
+          (match Cgra_core.Transform.fold ~target_pages:target m with
+          | Ok sh when sh.pe_exact -> (
+              let mem = Cgra_kernels.Kernels.init_memory k in
+              match Check.against_oracle sh.mapping mem ~iterations with
+              | Ok () -> ()
+              | Error es ->
+                  Alcotest.failf "%s fold %d: %s" k.name target (String.concat "; " es))
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "%s fold %d: %s" k.name target e);
+          ladder (target / 2)
+        end
+      in
+      ladder (Mapping.n_pages_used m))
+    Cgra_kernels.Kernels.all
+
+let test_relocated_fold_equivalence () =
+  (* shrink into the upper half of the fabric: correctness must not
+     depend on the base page *)
+  let a = arch 4 4 in
+  let k = Cgra_kernels.Kernels.find_exn "wavelet" in
+  let m = map_ok Paged a k.graph in
+  match Cgra_core.Transform.fold ~base_page:2 ~target_pages:2 m with
+  | Ok sh when sh.pe_exact -> (
+      let mem = Cgra_kernels.Kernels.init_memory k in
+      match Check.against_oracle sh.mapping mem ~iterations with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "relocated: %s" (String.concat "; " es))
+  | Ok _ -> Alcotest.fail "expected exact relocation"
+  | Error e -> Alcotest.fail e
+
+let prop_synthetic_equivalence =
+  QCheck.Test.make ~name:"synthetic kernels run bit-exact (map + fold)" ~count:15
+    QCheck.(int_range 0 3_000)
+    (fun seed ->
+      let cfg =
+        {
+          Cgra_kernels.Synthetic.n_ops = 9 + (seed mod 9);
+          mem_fraction = 0.3;
+          recurrence = seed mod 3 = 0;
+        }
+      in
+      let g = Cgra_kernels.Synthetic.generate ~seed cfg in
+      let mem = Cgra_kernels.Synthetic.memory_for ~seed g in
+      match Scheduler.map Paged (arch 4 4) g with
+      | Error _ -> false
+      | Ok m -> (
+          Check.against_oracle m mem ~iterations:12 = Ok ()
+          &&
+          match Cgra_core.Transform.fold ~target_pages:1 m with
+          | Ok sh when sh.pe_exact ->
+              Check.against_oracle sh.mapping mem ~iterations:12 = Ok ()
+          | Ok _ | Error _ -> false))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "write/read" `Quick test_machine_write_read;
+          Alcotest.test_case "read too early" `Quick test_machine_read_too_early;
+          Alcotest.test_case "read absent" `Quick test_machine_read_absent;
+          Alcotest.test_case "out of reach" `Quick test_machine_out_of_reach;
+          Alcotest.test_case "memory race" `Quick test_machine_memory_race;
+          Alcotest.test_case "memory wrap" `Quick test_machine_memory_wrap;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "no violations when valid" `Quick
+            test_exec_no_violations_on_valid_mapping;
+          Alcotest.test_case "const prefill" `Quick test_exec_const_prefill;
+          Alcotest.test_case "zero iterations" `Quick test_exec_zero_iterations;
+          Alcotest.test_case "rejects negative" `Quick test_exec_rejects_negative;
+          Alcotest.test_case "detects broken schedule" `Quick
+            test_exec_detects_broken_schedule;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "baseline 4x4p4" `Quick
+            (test_suite_equivalence Scheduler.Unconstrained 4 4);
+          Alcotest.test_case "paged 4x4p4" `Quick
+            (test_suite_equivalence Scheduler.Paged 4 4);
+          Alcotest.test_case "paged 4x4p2" `Quick
+            (test_suite_equivalence Scheduler.Paged 4 2);
+          Alcotest.test_case "paged 6x6p8 (band)" `Slow
+            (test_suite_equivalence Scheduler.Paged 6 8);
+          Alcotest.test_case "paged 8x8p4" `Slow
+            (test_suite_equivalence Scheduler.Paged 8 4);
+          Alcotest.test_case "fold ladder equivalence" `Quick
+            test_fold_ladder_equivalence;
+          Alcotest.test_case "relocated fold equivalence" `Quick
+            test_relocated_fold_equivalence;
+          QCheck_alcotest.to_alcotest prop_synthetic_equivalence;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+open Cgra_util
+
+let check_int = Alcotest.(check int)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 13 in
+    Alcotest.(check bool) "in [0,13)" true (x >= 0 && x < 13)
+  done
+
+let test_rng_int_in_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_int_covers_range () =
+  let r = Rng.create ~seed:3 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Rng.int r 4) <- true
+  done;
+  Alcotest.(check bool) "all residues appear" true (Array.for_all Fun.id seen)
+
+let test_rng_copy_independent () =
+  let a = Rng.create ~seed:9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let xa = Rng.bits64 a in
+  let xb = Rng.bits64 b in
+  Alcotest.(check int64) "copy continues the stream" xa xb;
+  ignore (Rng.bits64 a);
+  let xa' = Rng.bits64 a and xb' = Rng.bits64 b in
+  Alcotest.(check bool) "then diverges by position" true (xa' <> xb' || xa' = xb')
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:11 in
+  let c = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 c) in
+  Alcotest.(check bool) "split stream differs" true (xs <> ys)
+
+let test_rng_float_bounds () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_bool_balanced () =
+  let r = Rng.create ~seed:13 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 400 && !trues < 600)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:17 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_rng_choose () =
+  let r = Rng.create ~seed:19 in
+  for _ = 1 to 100 do
+    let x = Rng.choose r [| 1; 2; 3 |] in
+    Alcotest.(check bool) "member" true (List.mem x [ 1; 2; 3 ])
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:23 in
+  let n = 5000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.exponential r ~mean:10.0 in
+    Alcotest.(check bool) "positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 10" true (mean > 8.5 && mean < 11.5)
+
+(* ---------- Pqueue ---------- *)
+
+let int_q () = Pqueue.empty ~cmp:Int.compare
+
+let test_pqueue_empty () =
+  let q = int_q () in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Pqueue.peek q = None)
+
+let test_pqueue_sorted () =
+  let q = List.fold_left (fun q p -> Pqueue.push q p p) (int_q ()) [ 5; 1; 4; 1; 3 ] in
+  let order = List.map fst (Pqueue.to_sorted_list q) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 4; 5 ] order
+
+let test_pqueue_fifo_ties () =
+  let q = int_q () in
+  let q = Pqueue.push q 1 "first" in
+  let q = Pqueue.push q 1 "second" in
+  let q = Pqueue.push q 0 "zero" in
+  let q = Pqueue.push q 1 "third" in
+  let vals = List.map snd (Pqueue.to_sorted_list q) in
+  Alcotest.(check (list string)) "ties in insertion order"
+    [ "zero"; "first"; "second"; "third" ] vals
+
+let test_pqueue_size () =
+  let q = int_q () in
+  check_int "empty size" 0 (Pqueue.size q);
+  let q = Pqueue.push (Pqueue.push q 2 ()) 1 () in
+  check_int "two" 2 (Pqueue.size q);
+  match Pqueue.pop q with
+  | Some (_, q') -> check_int "one after pop" 1 (Pqueue.size q')
+  | None -> Alcotest.fail "pop"
+
+let test_pqueue_peek_stable () =
+  let q = Pqueue.of_list ~cmp:Int.compare [ (3, "c"); (1, "a"); (2, "b") ] in
+  (match Pqueue.peek q with
+  | Some (p, v) ->
+      check_int "min prio" 1 p;
+      Alcotest.(check string) "min value" "a" v
+  | None -> Alcotest.fail "peek");
+  check_int "peek does not consume" 3 (Pqueue.size q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing order" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = Pqueue.of_list ~cmp:Int.compare (List.map (fun x -> (x, x)) xs) in
+      let popped = List.map fst (Pqueue.to_sorted_list q) in
+      popped = List.sort compare xs)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "empty" 0.0 (Stats.mean [])
+
+let test_stats_geomean () =
+  check_float "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  check_float "empty" 0.0 (Stats.geomean [])
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "single" 0.0 (Stats.stddev [ 1.0 ]);
+  check_float "known" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_minmax () =
+  check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  Alcotest.check_raises "empty min" (Invalid_argument "Stats.minimum: empty")
+    (fun () -> ignore (Stats.minimum []))
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check_float "p0" 1.0 (Stats.percentile 0.0 xs);
+  check_float "p50" 3.0 (Stats.percentile 50.0 xs);
+  check_float "p100" 5.0 (Stats.percentile 100.0 xs);
+  check_float "p25 interpolated" 2.0 (Stats.percentile 25.0 xs)
+
+let test_stats_improvement () =
+  check_float "2x faster = +100%" 100.0
+    (Stats.improvement_percent ~baseline:10.0 ~improved:5.0);
+  check_float "same = 0%" 0.0 (Stats.improvement_percent ~baseline:5.0 ~improved:5.0);
+  check_float "slower is negative" (-50.0)
+    (Stats.improvement_percent ~baseline:5.0 ~improved:10.0)
+
+let test_stats_ratio () =
+  check_float "ratio" 50.0 (Stats.ratio_percent 1.0 2.0);
+  check_float "zero denominator" 0.0 (Stats.ratio_percent 1.0 0.0)
+
+(* ---------- Table ---------- *)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "name"; "value" ] [ [ "a"; "1" ]; [ "bb"; "22" ] ] in
+  let lines = String.split_on_char '\n' s in
+  check_int "four lines" 4 (List.length lines);
+  Alcotest.(check bool) "has rule" true
+    (String.for_all (fun c -> c = '-' || c = ' ') (List.nth lines 1))
+
+let test_table_alignment () =
+  let s = Table.render ~header:[ "k"; "v" ] [ [ "x"; "123" ] ] in
+  Alcotest.(check bool) "right-aligns numbers" true
+    (String.length s > 0 && String.split_on_char '\n' s |> List.length = 3)
+
+let test_table_fmt () =
+  Alcotest.(check string) "float" "3.1" (Table.fmt_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.14" (Table.fmt_float ~decimals:2 3.14159);
+  Alcotest.(check string) "percent" "99.5%" (Table.fmt_percent 99.5)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+          Alcotest.test_case "copy continues stream" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bool balance" `Quick test_rng_bool_balanced;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "choose membership" `Quick test_rng_choose;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "sorted pops" `Quick test_pqueue_sorted;
+          Alcotest.test_case "FIFO ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "size" `Quick test_pqueue_size;
+          Alcotest.test_case "peek stable" `Quick test_pqueue_peek_stable;
+          QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "improvement" `Quick test_stats_improvement;
+          Alcotest.test_case "ratio" `Quick test_stats_ratio;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "formatting" `Quick test_table_fmt;
+        ] );
+    ]
