@@ -266,6 +266,101 @@ let cmd_encode =
           decoder-level machine.")
     Term.(const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ target)
 
+(* ----- verify ----- *)
+
+let cmd_verify =
+  let run kernel size page_pes seed paged fold_sweep fuzz iterations =
+    match fuzz with
+    | Some n ->
+        if n < 0 then or_die (Error "--fuzz needs a non-negative seed count");
+        let seeds = List.init n (fun i -> seed + i) in
+        let o = Cgra_verify.Fuzz.run ~iterations ~seeds () in
+        Format.printf "%a@." Cgra_verify.Fuzz.pp_outcome o;
+        if o.Cgra_verify.Fuzz.failures <> [] then exit 1
+    | None ->
+        let kernel =
+          match kernel with
+          | Some k -> k
+          | None -> or_die (Error "verify needs --kernel (or --fuzz N)")
+        in
+        let arch = or_die (arch_of ~size ~page_pes) in
+        let k = or_die (kernel_of kernel) in
+        let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
+        let m = or_die (Scheduler.map ~seed kind arch k.graph) in
+        Format.printf "%a@." Mapping.pp_stats m;
+        let report what = function
+          | [] -> Printf.printf "%s: ok\n" what
+          | vs ->
+              List.iter
+                (fun v ->
+                  Format.printf "%s VIOLATION %a@." what Cgra_verify.Verify.pp_violation
+                    v)
+                vs;
+              exit 1
+        in
+        report "mapping" (Cgra_verify.Verify.check m);
+        if fold_sweep then begin
+          if not paged then or_die (Error "--fold-sweep needs --paged");
+          let n = Mapping.n_pages_used m in
+          let total = Cgra.n_pages arch in
+          let mem = Cgra_kernels.Kernels.init_memory k in
+          for target = 1 to n do
+            for base = 0 to total - min target n do
+              let what = Printf.sprintf "fold m=%d base=%d" target base in
+              let sh = or_die (Transform.fold ~base_page:base ~target_pages:target m) in
+              if sh.Transform.mapping.ii
+                 <> Transform.ii_q ~ii_p:m.ii ~n_used:n ~target_pages:target
+              then or_die (Error (what ^ ": II_q law violated"));
+              if sh.Transform.pe_exact then begin
+                report what
+                  (Cgra_verify.Verify.check ~check_mem:false sh.Transform.mapping);
+                match
+                  Cgra_sim.Check.against_oracle sh.Transform.mapping mem ~iterations
+                with
+                | Ok () -> ()
+                | Error es -> or_die (Error (what ^ ": " ^ List.hd es))
+              end
+              else Printf.printf "%s: page-level only (no PE-exact mirroring)\n" what
+            done
+          done;
+          Printf.printf
+            "fold sweep: every target in [1, %d] at every base verified, bit-exact \
+             over %d iterations\n"
+            n iterations
+        end
+  in
+  let kernel =
+    let doc = "Kernel to verify (omit when fuzzing)." in
+    Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~docv:"NAME" ~doc)
+  in
+  let paged =
+    Arg.(value & flag & info [ "paged" ] ~doc:"Use the paging-constrained compiler.")
+  in
+  let fold_sweep =
+    Arg.(
+      value & flag
+      & info [ "fold-sweep" ]
+          ~doc:"Fold to every target page count at every base page and verify each.")
+  in
+  let fuzz =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Run the property-based fuzz harness over N seeds (starting at --seed) \
+             instead of verifying one kernel.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check the paper's mapping invariants mechanically: one kernel's mapping \
+          (optionally across the whole fold sweep), or a randomized \
+          compile-fold-execute fuzz corpus.")
+    Term.(
+      const run $ kernel $ size_arg $ page_arg $ seed_arg $ paged $ fold_sweep $ fuzz
+      $ iters_arg)
+
 (* ----- dot ----- *)
 
 let cmd_dot =
@@ -316,5 +411,5 @@ let () =
        (Cmd.group info
           [
             cmd_kernels; cmd_map; cmd_shrink; cmd_simulate; cmd_encode; cmd_greedy;
-            cmd_dot; cmd_fig8; cmd_fig9;
+            cmd_verify; cmd_dot; cmd_fig8; cmd_fig9;
           ]))

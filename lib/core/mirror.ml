@@ -13,16 +13,20 @@ let relocate ~pages ~src_page ~dst_page o pe =
       | Some pe' -> pe'
       | None -> assert false (* symmetries preserve the tile *))
 
-let solve ~pages ~n_used ~s ~base ~cross_steps =
+let solve ~pages ~src_base ~n_used ~s ~base ~cross_steps =
   let candidates = Orient.all ~square:(Page.is_square_tile pages) in
   let dst n = base + (n / s) in
+  (* [n] is relative to the source mapping's lowest used page
+     [src_base]; [cross_steps] is indexed the same way. *)
   (* A pair (o_n, o_next) satisfies the steps crossing page n -> n+1 when
      every transferred value stays within register-file reach. *)
   let pair_ok n o_n o_next =
     List.for_all
       (fun (a, b) ->
-        let a' = relocate ~pages ~src_page:n ~dst_page:(dst n) o_n a in
-        let b' = relocate ~pages ~src_page:(n + 1) ~dst_page:(dst (n + 1)) o_next b in
+        let a' = relocate ~pages ~src_page:(src_base + n) ~dst_page:(dst n) o_n a in
+        let b' =
+          relocate ~pages ~src_page:(src_base + n + 1) ~dst_page:(dst (n + 1)) o_next b
+        in
         Coord.equal a' b' || Coord.adjacent a' b')
       cross_steps.(n)
   in

@@ -19,16 +19,19 @@
 
 val solve :
   pages:Cgra_arch.Page.t ->
+  src_base:int ->
   n_used:int ->
   s:int ->
   base:int ->
   cross_steps:(Cgra_arch.Coord.t * Cgra_arch.Coord.t) list array ->
   Cgra_arch.Orient.t array option
-(** [solve ~pages ~n_used ~s ~base ~cross_steps] assigns one symmetry per
-    source page [0 .. n_used-1], where source page [n] is relocated to
+(** [solve ~pages ~src_base ~n_used ~s ~base ~cross_steps] assigns one
+    symmetry per source page, where source page [src_base + n] (for
+    [n] in [0 .. n_used-1]) is relocated to
     destination page [base + n/s] and [cross_steps.(n)] lists the
-    producer/consumer PE pairs of steps crossing from page [n] to page
-    [n+1].  Returns [None] when no assignment satisfies every step. *)
+    producer/consumer PE pairs of steps crossing from page
+    [src_base + n] to page [src_base + n + 1].  Returns [None] when no
+    assignment satisfies every step. *)
 
 val relocate :
   pages:Cgra_arch.Page.t ->

@@ -126,14 +126,20 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
     | Thread_model.Kernel { kernel; iterations } :: rest ->
         total_ops := !total_ops +. float_of_int (ops_of (binary kernel) * iterations);
         start_kernel now t ~kernel ~iterations ~rest
-  and start_kernel now t ~kernel ~iterations ~rest =
+  (* [enqueue] is false when the thread is already the front entry of
+     [waiters] (a retry from [serve]): it must neither be re-enqueued —
+     that would leave a duplicate queue entry — nor counted as a fresh
+     stall. *)
+  and start_kernel ?(enqueue = true) now t ~kernel ~iterations ~rest =
     let b = binary kernel in
     match p.mode with
     | Single ->
         if !cgra_busy_single then begin
-          incr stalls;
-          t.state <- Waiting (kernel, iterations, rest);
-          Queue.add t.id waiters
+          if enqueue then begin
+            incr stalls;
+            Queue.add t.id waiters
+          end;
+          t.state <- Waiting (kernel, iterations, rest)
         end
         else begin
           cgra_busy_single := true;
@@ -152,9 +158,11 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
         match Allocator.request alloc ~client:t.id ~desired with
         | None ->
             Hashtbl.remove running_kernel t.id;
-            incr stalls;
-            t.state <- Waiting (kernel, iterations, rest);
-            Queue.add t.id waiters
+            if enqueue then begin
+              incr stalls;
+              Queue.add t.id waiters
+            end;
+            t.state <- Waiting (kernel, iterations, rest)
         | Some r ->
             let shrunk_entry = r.Allocator.len < desired in
             if shrunk_entry then incr transformations;
@@ -168,11 +176,13 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
             post (now +. entry_cost +. (float_of_int iterations *. rate)) t.id t.gen;
             (* the request may have shrunk a victim *)
             resync now)
+  (* The waiter stays at the front of [waiters] while it retries; the
+     caller pops it only on success. *)
   and try_start_waiter now wid =
     let w = Hashtbl.find by_id wid in
     match w.state with
     | Waiting (kernel, iterations, rest) -> (
-        start_kernel now w ~kernel ~iterations ~rest;
+        start_kernel ~enqueue:false now w ~kernel ~iterations ~rest;
         match w.state with Waiting _ -> false | _ -> true)
     | On_cpu _ | On_cgra _ | Done _ -> true (* stale entry; drop it *)
   and finish_kernel now t rest =
@@ -180,8 +190,8 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
     | Single -> (
         cgra_busy_single := false;
         Hashtbl.remove running_kernel t.id;
-        match Queue.take_opt waiters with
-        | Some wid -> ignore (try_start_waiter now wid)
+        match Queue.peek_opt waiters with
+        | Some wid -> if try_start_waiter now wid then ignore (Queue.take waiters)
         | None -> ())
     | Multi ->
         Allocator.release alloc ~client:t.id;

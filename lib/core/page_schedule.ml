@@ -4,12 +4,18 @@ open Cgra_mapper
 type t = {
   ii : int;
   n_pages : int;
+  page_ids : int array;
   ops : int list array array;
   hops : int array array;
 }
 
 let of_mapping (m : Mapping.t) =
-  let n_pages = Mapping.n_pages_used m in
+  let page_ids = Array.of_list (Mapping.pages_used m) in
+  let n_pages = Array.length page_ids in
+  (* Rows are ranks within the used pages, not absolute page ids: the
+     runtime relocates mappings to arbitrary base pages. *)
+  let rank = Hashtbl.create 8 in
+  Array.iteri (fun i pg -> Hashtbl.replace rank pg i) page_ids;
   let ops = Array.init (max 1 n_pages) (fun _ -> Array.make m.ii []) in
   let hops = Array.make_matrix (max 1 n_pages) m.ii 0 in
   Array.iteri
@@ -19,6 +25,7 @@ let of_mapping (m : Mapping.t) =
           match Page.page_of_pe m.arch.Cgra.pages p.pe with
           | Some pg ->
               let slot = p.time mod m.ii in
+              let pg = Hashtbl.find rank pg in
               ops.(pg).(slot) <- v :: ops.(pg).(slot)
           | None -> ())
       | None -> ())
@@ -30,12 +37,13 @@ let of_mapping (m : Mapping.t) =
           match Page.page_of_pe m.arch.Cgra.pages h.pe with
           | Some pg ->
               let slot = h.time mod m.ii in
+              let pg = Hashtbl.find rank pg in
               hops.(pg).(slot) <- hops.(pg).(slot) + 1
           | None -> ())
         r.hops)
     m.routes;
   Array.iter (fun row -> Array.iteri (fun i l -> row.(i) <- List.rev l) row) ops;
-  { ii = m.ii; n_pages; ops; hops }
+  { ii = m.ii; n_pages; page_ids; ops; hops }
 
 let slot_empty t ~page ~slot = t.ops.(page).(slot) = [] && t.hops.(page).(slot) = 0
 
@@ -54,7 +62,7 @@ let occupancy t =
 let pp ppf t =
   Format.fprintf ppf "slot";
   for pg = 0 to t.n_pages - 1 do
-    Format.fprintf ppf "  page%-8d" pg
+    Format.fprintf ppf "  page%-8d" t.page_ids.(pg)
   done;
   Format.pp_print_newline ppf ();
   for s = 0 to t.ii - 1 do

@@ -5,9 +5,12 @@
 
 type t = {
   ii : int;
-  n_pages : int;  (** pages the mapping uses (a prefix of the ring) *)
-  ops : int list array array;  (** [ops.(page).(slot)] = node ids *)
-  hops : int array array;  (** routing-hop counts per page and slot *)
+  n_pages : int;  (** pages the mapping uses *)
+  page_ids : int array;
+      (** absolute page id of each row, ascending — the used pages need
+          not start at page 0 (the runtime relocates mappings) *)
+  ops : int list array array;  (** [ops.(rank).(slot)] = node ids *)
+  hops : int array array;  (** routing-hop counts per page rank and slot *)
 }
 
 val of_mapping : Cgra_mapper.Mapping.t -> t

@@ -44,6 +44,9 @@ val fold :
   Cgra_mapper.Mapping.t ->
   (shrunk, string) result
 (** [fold ~target_pages m] shrinks the paged mapping [m] to at most
-    [target_pages] pages starting at [base_page] (default 0).  Errors
-    when [m] is not a paged mapping, [target_pages < 1], or the
-    destination range exceeds the fabric. *)
+    [target_pages] pages starting at [base_page] (default 0).  The
+    source may occupy any contiguous run of pages, not necessarily
+    starting at page 0 — the runtime re-folds mappings the allocator
+    already relocated.  Errors when [m] is not a paged mapping, its used
+    pages are not contiguous, [target_pages < 1], or the destination
+    range exceeds the fabric. *)

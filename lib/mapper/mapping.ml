@@ -284,12 +284,17 @@ let validate ?(check_mem = true) t =
           err "PE index %d needs %d registers (capacity %d)" pe_idx n
             arch.Cgra.rf_capacity)
       rf;
-    (* paged: used pages form a prefix of the ring order *)
+    (* paged: used pages form a contiguous run of the ring order (the
+       compiler emits base 0; the runtime may relocate to any base) *)
     if t.paged then begin
-      let used = pages_used t in
-      List.iteri
-        (fun i pg -> if pg <> i then err "pages used are not a prefix: %d at rank %d" pg i)
-        used
+      match pages_used t with
+      | [] -> ()
+      | first :: _ as used ->
+          List.iteri
+            (fun i pg ->
+              if pg <> first + i then
+                err "pages used are not contiguous: %d at rank %d (base %d)" pg i first)
+            used
     end;
     match List.rev !errs with [] -> Ok () | es -> Error es
   end

@@ -35,7 +35,9 @@
       inside), and for band-shaped pages "adjacent" additionally means
       consecutive along the serpentine path (so that reversing a page
       preserves legality);
-    - the pages used form a prefix [0 .. k-1] of the ring order. *)
+    - the pages used form a contiguous run [b .. b+k-1] of the ring
+      order.  The compiler always emits [b = 0]; the multithreading
+      runtime may relocate a mapping to any base page. *)
 
 type placement = { pe : Cgra_arch.Coord.t; time : int }
 

@@ -1,0 +1,44 @@
+(** Property-based differential fuzzing of the compile → fold → execute
+    pipeline.
+
+    Each seed drives one deterministic case through {!Cgra_util.Rng}:
+    pick a fabric, generate a random synthetic kernel, map it with the
+    paging-constrained scheduler, then
+
+    - check the mapping with {!Verify.mapping} and run it against the
+      sequential oracle ({!Cgra_sim.Check.against_oracle});
+    - fold it to {e every} [target_pages] in [1 .. n_used] at {e every}
+      feasible [base_page] (including every non-zero base), checking the
+      [II_q = II_p * ceil (N/M)] law on each fold, re-verifying every
+      PE-exact fold, and running it against the oracle;
+    - on square-tile fabrics, relocate the mapping to a non-zero base
+      page, re-mark it paged, verify it there, and fold it {e again} —
+      the absolute-page-indexing regression class.
+
+    Everything is reproducible from the seed list; the test suite pins a
+    fixed corpus. *)
+
+type outcome = {
+  cases : int;  (** seeds attempted *)
+  mapped : int;  (** cases the scheduler mapped (the rest are skipped) *)
+  folds : int;  (** fold results checked *)
+  nonzero_base_folds : int;  (** of which [base_page > 0] *)
+  refolds : int;  (** relocate-then-refold exercises *)
+  oracle_runs : int;  (** differential simulations executed *)
+  failures : string list;  (** human-readable, with seed context; [] = pass *)
+}
+
+val default_fabrics : (int * int) list
+(** [(size, page_pes)] choices: [(4, 4); (4, 2); (6, 8)] — square tiles,
+    1x2 tiles, and 2x4 tiles over a bigger mesh. *)
+
+val run :
+  ?fabrics:(int * int) list ->
+  ?iterations:int ->
+  seeds:int list ->
+  unit ->
+  outcome
+(** Run the corpus.  [iterations] (default 8) is the oracle-comparison
+    depth per simulation. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

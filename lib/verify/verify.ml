@@ -1,0 +1,257 @@
+open Cgra_arch
+open Cgra_dfg
+open Cgra_mapper
+
+type rule =
+  | Schedule
+  | Bounds
+  | Slot_conflict
+  | Continuity
+  | Ring
+  | Rf_capacity
+  | Mem_ports
+  | Routes
+
+let rule_name = function
+  | Schedule -> "schedule"
+  | Bounds -> "bounds"
+  | Slot_conflict -> "slot-conflict"
+  | Continuity -> "continuity"
+  | Ring -> "ring"
+  | Rf_capacity -> "rf-capacity"
+  | Mem_ports -> "mem-ports"
+  | Routes -> "routes"
+
+type violation = { rule : rule; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "%s: %s" (rule_name v.rule) v.detail
+
+let is_const g v = match (Graph.node g v).op with Op.Const _ -> true | _ -> false
+
+(* Occupants recomputed from the raw mapping record, not via
+   [Mapping.all_occupants], so a bug there cannot hide from the checker. *)
+let occupants (m : Mapping.t) =
+  let ops =
+    Array.to_list m.placements
+    |> List.mapi (fun v p -> Option.map (fun p -> (Printf.sprintf "op %d" v, p)) p)
+    |> List.filter_map Fun.id
+  in
+  let hops =
+    List.concat_map
+      (fun (r : Mapping.route) ->
+        List.map
+          (fun h -> (Printf.sprintf "hop of edge %d->%d" r.edge.src r.edge.dst, h))
+          r.hops)
+      m.routes
+  in
+  ops @ hops
+
+let check ?(check_mem = true) (m : Mapping.t) =
+  let out = ref [] in
+  let err rule fmt =
+    Printf.ksprintf (fun detail -> out := { rule; detail } :: !out) fmt
+  in
+  let g = m.graph in
+  let grid = m.arch.Cgra.grid in
+  let pages = m.arch.Cgra.pages in
+  let page_of pe = Page.page_of_pe pages pe in
+  if m.ii < 1 then err Schedule "ii %d < 1" m.ii;
+  (* ----- placement shape ----- *)
+  let shape_ok = ref (m.ii >= 1) in
+  Array.iteri
+    (fun v pl ->
+      match (pl, is_const g v) with
+      | None, false ->
+          shape_ok := false;
+          err Schedule "node %d is unplaced" v
+      | Some _, true -> err Schedule "const node %d is placed" v
+      | Some (p : Mapping.placement), false ->
+          if p.time < 0 then begin
+            shape_ok := false;
+            err Schedule "node %d scheduled at negative time %d" v p.time
+          end;
+          if not (Grid.in_bounds grid p.pe) then begin
+            shape_ok := false;
+            err Bounds "node %d placed outside the fabric at %s" v (Coord.to_string p.pe)
+          end
+          else if m.paged && page_of p.pe = None then
+            err Bounds "node %d placed on a remainder PE %s outside every page" v
+              (Coord.to_string p.pe)
+      | None, true -> ())
+    m.placements;
+  List.iter
+    (fun (r : Mapping.route) ->
+      List.iter
+        (fun (h : Mapping.placement) ->
+          if not (Grid.in_bounds grid h.pe) then begin
+            shape_ok := false;
+            err Bounds "hop of edge %d->%d outside the fabric at %s" r.edge.src
+              r.edge.dst (Coord.to_string h.pe)
+          end
+          else if m.paged && page_of h.pe = None then
+            err Bounds "hop of edge %d->%d on a remainder PE %s" r.edge.src r.edge.dst
+              (Coord.to_string h.pe))
+        r.hops)
+    m.routes;
+  (* ----- route bookkeeping ----- *)
+  let edge_set = Graph.edges g in
+  List.iter
+    (fun (r : Mapping.route) ->
+      if not (List.mem r.edge edge_set) then
+        err Routes "route for edge %d->%d which is not in the graph" r.edge.src
+          r.edge.dst
+      else if is_const g r.edge.src then
+        err Routes "route for const edge %d->%d" r.edge.src r.edge.dst)
+    m.routes;
+  let route_keys = List.map (fun (r : Mapping.route) -> r.edge) m.routes in
+  if List.length route_keys <> List.length (List.sort_uniq compare route_keys) then
+    err Routes "more than one route for one edge";
+  if not !shape_ok then List.rev !out
+  else begin
+    (* ----- exclusive slot occupancy ----- *)
+    let occ = Hashtbl.create 64 in
+    List.iter
+      (fun (who, (p : Mapping.placement)) ->
+        let key = (Grid.index grid p.pe, p.time mod m.ii) in
+        (match Hashtbl.find_opt occ key with
+        | Some other ->
+            err Slot_conflict "%s and %s both occupy %s modulo-slot %d" who other
+              (Coord.to_string p.pe) (p.time mod m.ii)
+        | None -> ());
+        Hashtbl.replace occ key who)
+      (occupants m);
+    (* ----- used pages form one contiguous ring run ----- *)
+    if m.paged then begin
+      match Mapping.pages_used m with
+      | [] -> ()
+      | first :: _ as used ->
+          List.iteri
+            (fun i pg ->
+              if pg <> first + i then
+                err Ring "used pages are not a contiguous ring run: page %d at rank %d"
+                  pg i)
+            used
+    end;
+    (* ----- per-edge transfer chains ----- *)
+    let serp pe = Grid.serp_index grid pe in
+    let rect = Page.is_rect pages in
+    let instances = Hashtbl.create 64 in
+    (* (pe index, birth time) -> last read time; for the register-usage
+       accounting below *)
+    let record_use ~pe ~born ~read =
+      let key = (Grid.index grid pe, born) in
+      let last = Option.value ~default:born (Hashtbl.find_opt instances key) in
+      Hashtbl.replace instances key (max last read)
+    in
+    let placement v =
+      match m.placements.(v) with
+      | Some p -> p
+      | None -> assert false (* shape_ok ruled this out *)
+    in
+    let step_check (e : Graph.edge) ~what (a : Mapping.placement) ~reader_pe
+        ~read_time =
+      if read_time < a.time + 1 then
+        err Continuity "edge %d->%d: %s reads at %d before the value exists (holder \
+                        fires at %d)"
+          e.src e.dst what read_time a.time;
+      let near = Coord.equal a.pe reader_pe || Coord.adjacent a.pe reader_pe in
+      if not near then
+        err Continuity "edge %d->%d: %s at %s cannot reach holder at %s" e.src e.dst
+          what
+          (Coord.to_string reader_pe)
+          (Coord.to_string a.pe)
+      else if m.paged then begin
+        match (page_of a.pe, page_of reader_pe) with
+        | Some pa, Some pb ->
+            if pb <> pa && pb <> pa + 1 then
+              err Ring
+                "edge %d->%d: %s on page %d consumes from page %d (only page %d or %d \
+                 may feed it)"
+                e.src e.dst what pb pa pb (pb - 1)
+            else if
+              (not rect)
+              && (not (Coord.equal a.pe reader_pe))
+              && abs (serp a.pe - serp reader_pe) <> 1
+            then
+              err Ring
+                "edge %d->%d: %s transfer %s -> %s is not serpentine-consecutive on \
+                 band pages"
+                e.src e.dst what (Coord.to_string a.pe) (Coord.to_string reader_pe)
+        | None, _ | _, None -> () (* already a Bounds violation *)
+      end
+    in
+    List.iter
+      (fun (e : Graph.edge) ->
+        if not (is_const g e.src) then begin
+          let pu = placement e.src and pv = placement e.dst in
+          let read_time = pv.time + (e.distance * m.ii) in
+          let hops =
+            match List.find_opt (fun (r : Mapping.route) -> r.edge = e) m.routes with
+            | Some r -> r.hops
+            | None -> []
+          in
+          let last =
+            List.fold_left
+              (fun (prev : Mapping.placement) (h : Mapping.placement) ->
+                step_check e ~what:"routing hop" prev ~reader_pe:h.pe ~read_time:h.time;
+                record_use ~pe:prev.pe ~born:prev.time ~read:h.time;
+                h)
+              pu hops
+          in
+          step_check e ~what:"consumer" last ~reader_pe:pv.pe ~read_time;
+          record_use ~pe:last.pe ~born:last.time ~read:read_time
+        end)
+      (Graph.edges g);
+    (* ----- memory ordering ----- *)
+    List.iter
+      (fun (o : Memdep.t) ->
+        match (m.placements.(o.src), m.placements.(o.dst)) with
+        | Some a, Some b ->
+            if b.time + (o.distance * m.ii) < a.time + 1 then
+              err Schedule "memory ordering %d->%d (distance %d) violated (%d vs %d)"
+                o.src o.dst o.distance a.time b.time
+        | None, _ | _, None -> ())
+      (Memdep.ordering g);
+    (* ----- register-usage constraint ----- *)
+    let rf = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun (pe_idx, born) last ->
+        let lifetime = last - born in
+        if lifetime > 0 then begin
+          let regs = (lifetime + m.ii - 1) / m.ii in
+          let n = Option.value ~default:0 (Hashtbl.find_opt rf pe_idx) in
+          Hashtbl.replace rf pe_idx (n + regs)
+        end)
+      instances;
+    Hashtbl.iter
+      (fun pe_idx n ->
+        if n > m.arch.Cgra.rf_capacity then
+          err Rf_capacity "PE index %d holds %d rotating registers (capacity %d)"
+            pe_idx n m.arch.Cgra.rf_capacity)
+      rf;
+    (* ----- row memory ports ----- *)
+    if check_mem then begin
+      let mem_use = Hashtbl.create 16 in
+      Array.iteri
+        (fun v pl ->
+          match pl with
+          | Some (p : Mapping.placement) when Op.is_mem (Graph.node g v).op ->
+              let key = (p.pe.Coord.row, p.time mod m.ii) in
+              let n = Option.value ~default:0 (Hashtbl.find_opt mem_use key) in
+              Hashtbl.replace mem_use key (n + 1)
+          | Some _ | None -> ())
+        m.placements;
+      Hashtbl.iter
+        (fun (row, slot) n ->
+          if n > m.arch.Cgra.mem_ports_per_row then
+            err Mem_ports "row %d modulo-slot %d issues %d memory ops (ports %d)" row
+              slot n m.arch.Cgra.mem_ports_per_row)
+        mem_use
+    end;
+    List.rev !out
+  end
+
+let mapping ?check_mem m =
+  match check ?check_mem m with
+  | [] -> Ok ()
+  | vs -> Error (List.map (fun v -> Format.asprintf "%a" pp_violation v) vs)

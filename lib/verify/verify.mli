@@ -1,0 +1,59 @@
+(** Mechanical checker for the paper's mapping invariants.
+
+    [Mapping.validate] is the {e compiler's} legality filter; this module
+    is an {e independent} re-implementation of the rules from the paper's
+    statement of them, used to cross-check the compiler, the PageMaster
+    transformation, and any future producer of mappings.  Each finding is
+    tagged with the rule it violates, so the fuzz harness and the CLI can
+    report which class of invariant broke.
+
+    Rules checked (Sections IV and VI of the paper):
+
+    - {b Schedule}: [ii >= 1], every non-const node placed exactly once
+      at a non-negative time, const nodes unplaced, memory-ordering
+      edges respected.
+    - {b Bounds}: every operation and routing hop inside the fabric and,
+      for paged mappings, inside a page (not on remainder PEs).
+    - {b Slot_conflict}: exclusive occupancy of each (PE, modulo-slot).
+    - {b Continuity}: each producer-to-reader step of every edge —
+      producer to first hop, hop to hop, last holder to consumer — is
+      between the same PE or grid neighbours, at least one cycle apart
+      (values become readable the cycle after they are written).
+    - {b Ring}: the data-flow paging constraint — page [n] at time [t]
+      consumes only from page [n-1] or page [n] at [t-1]; the used pages
+      form a contiguous run of the ring order (any base page); band
+      pages additionally require serpentine-consecutive transfers so
+      that page reversal stays legal.
+    - {b Rf_capacity}: the register-usage constraint — a value alive [l]
+      cycles occupies [ceil (l/ii)] rotating registers of its holder's
+      file; per-PE totals stay within [rf_capacity].
+    - {b Mem_ports}: at most [mem_ports_per_row] memory operations per
+      row per modulo-slot.
+    - {b Routes}: routes reference real DFG edges, at most one route per
+      edge, none for const edges. *)
+
+type rule =
+  | Schedule
+  | Bounds
+  | Slot_conflict
+  | Continuity
+  | Ring
+  | Rf_capacity
+  | Mem_ports
+  | Routes
+
+val rule_name : rule -> string
+
+type violation = { rule : rule; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : ?check_mem:bool -> Cgra_mapper.Mapping.t -> violation list
+(** All violations found, in discovery order.  [check_mem] (default
+    [true]) controls the {b Mem_ports} rule: folded runtime schedules
+    interleave pages in time, and the paper models memory-port pressure
+    at compile time only, so callers verifying [Transform.fold] output
+    disable it (as the repo's validator-based tests always have). *)
+
+val mapping : ?check_mem:bool -> Cgra_mapper.Mapping.t -> (unit, string list) result
+(** [check] with each violation rendered as ["rule: detail"]. *)

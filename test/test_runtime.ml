@@ -368,6 +368,28 @@ let test_os_deterministic () =
   let r2 = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Multi } in
   Alcotest.(check (float 0.0)) "same makespan" r1.makespan r2.makespan
 
+let test_os_multi_exact_stalls () =
+  (* two late arrivals contend for a fully occupied fabric; each must be
+     counted stalled exactly once.  Regression: a failed restart attempt
+     from the waiter queue used to re-enqueue the thread and count a
+     second stall for it. *)
+  let suite = Lazy.force suite_4x4_p4 in
+  let hold id = single_kernel_thread ~id "gsr" 40 in
+  let late id delay =
+    {
+      Thread_model.id;
+      segments =
+        [ Thread_model.Cpu delay; Thread_model.Kernel { kernel = "gsr"; iterations = 1 } ];
+    }
+  in
+  (* gsr occupies one page: threads 0-3 fill all four pages before the
+     late threads ask, and all four release at the same instant, so the
+     second waiter's first restart attempt fails *)
+  let threads = [ hold 0; hold 1; hold 2; hold 3; late 4 5; late 5 7 ] in
+  let r = Os_sim.run { suite; threads; total_pages = 4; mode = Os_sim.Multi } in
+  Alcotest.(check int) "all finish" 6 (List.length r.finishes);
+  Alcotest.(check int) "exactly two stalls" 2 r.stalls
+
 let test_os_unknown_kernel () =
   let suite = Lazy.force suite_4x4_p4 in
   let threads = [ single_kernel_thread "nonexistent" 3 ] in
@@ -414,6 +436,41 @@ let test_page_schedule_of_mapping () =
       (List.filter
          (fun (n : Cgra_dfg.Graph.node) ->
            match n.op with Cgra_dfg.Op.Const _ -> false | _ -> true)
+         (Cgra_dfg.Graph.nodes b.graph))
+  in
+  Alcotest.(check int) "ops accounted" non_const total
+
+let test_page_schedule_relocated_base () =
+  (* regression: of_mapping sized its rows by the number of used pages
+     but indexed them by absolute page id, crashing on any mapping whose
+     pages do not start at page 0 *)
+  let suite = Lazy.force suite_4x4_p4 in
+  let b = List.find (fun (b : Binary.t) -> b.name = "mpeg") suite in
+  let n = Binary.pages_used b in
+  Alcotest.(check bool) "kernel leaves room to relocate" true (4 > n);
+  let base = 4 - n in
+  let relocated =
+    match Transform.fold ~base_page:base ~target_pages:n b.paged with
+    | Ok sh ->
+        Alcotest.(check bool) "relocation PE-exact" true sh.Transform.pe_exact;
+        { sh.Transform.mapping with Cgra_mapper.Mapping.paged = true }
+    | Error e -> Alcotest.failf "relocation failed: %s" e
+  in
+  let ps = Page_schedule.of_mapping relocated in
+  Alcotest.(check int) "one row per used page" n ps.n_pages;
+  Alcotest.(check (array int)) "absolute page ids"
+    (Array.init n (fun i -> base + i))
+    ps.page_ids;
+  let total =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun a l -> a + List.length l) acc row)
+      0 ps.ops
+  in
+  let non_const =
+    List.length
+      (List.filter
+         (fun (nd : Cgra_dfg.Graph.node) ->
+           match nd.op with Cgra_dfg.Op.Const _ -> false | _ -> true)
          (Cgra_dfg.Graph.nodes b.graph))
   in
   Alcotest.(check int) "ops accounted" non_const total
@@ -469,6 +526,7 @@ let () =
           Alcotest.test_case "multithreading wins under load" `Quick
             test_os_multithreading_wins_under_load;
           Alcotest.test_case "deterministic" `Quick test_os_deterministic;
+          Alcotest.test_case "exact stall accounting" `Quick test_os_multi_exact_stalls;
           Alcotest.test_case "unknown kernel" `Quick test_os_unknown_kernel;
           Alcotest.test_case "reconfig cost slows" `Quick test_os_reconfig_cost_slows;
           Alcotest.test_case "reconfig zero default" `Quick
@@ -484,6 +542,7 @@ let () =
       ( "page-schedule",
         [
           Alcotest.test_case "of_mapping" `Quick test_page_schedule_of_mapping;
+          Alcotest.test_case "relocated base" `Quick test_page_schedule_relocated_base;
           Alcotest.test_case "pp" `Quick test_page_schedule_pp;
         ] );
     ]

@@ -125,6 +125,35 @@ let test_fold_base_page_relocation_valid () =
   let sh = fold_ok ~base_page:2 ~target_pages:2 m in
   if sh.pe_exact then assert_valid sh.mapping
 
+let test_fold_from_relocated_base () =
+  (* regression: fold indexed its per-page arrays with absolute page ids,
+     so folding a mapping whose used pages start above page 0 read out of
+     range.  Relocate to every feasible base, re-mark paged, and fold
+     again all the way down. *)
+  let k = Cgra_kernels.Kernels.find_exn "mpeg" in
+  let m = paged_mapping "mpeg" in
+  let n = Mapping.n_pages_used m in
+  let total = Page.n_pages m.Mapping.arch.Cgra.pages in
+  Alcotest.(check bool) "kernel leaves room to relocate" true (total > n);
+  for base = 1 to total - n do
+    let sh = fold_ok ~base_page:base ~target_pages:n m in
+    Alcotest.(check bool) "relocation exact on square tiles" true sh.pe_exact;
+    let src = { sh.mapping with Mapping.paged = true } in
+    assert_valid src;
+    Alcotest.(check int) "lowest used page" base (List.hd (Mapping.pages_used src));
+    let sh1 = fold_ok ~target_pages:1 src in
+    Alcotest.(check int)
+      (Printf.sprintf "ii law from base %d" base)
+      (Transform.ii_q ~ii_p:src.Mapping.ii ~n_used:n ~target_pages:1)
+      sh1.mapping.ii;
+    Alcotest.(check bool) "refold exact" true sh1.pe_exact;
+    assert_valid sh1.mapping;
+    let mem = Cgra_kernels.Kernels.init_memory k in
+    match Cgra_sim.Check.against_oracle sh1.mapping mem ~iterations:24 with
+    | Ok () -> ()
+    | Error es -> Alcotest.failf "base %d diverges: %s" base (String.concat "; " es)
+  done
+
 let test_fold_no_slot_collisions () =
   (* validate already checks this, but assert directly for page-level
      results too *)
@@ -195,7 +224,7 @@ let test_mirror_relocate_rejects_foreign () =
 
 let test_mirror_solve_no_steps () =
   let pages = Page.rect (Grid.square 4) ~tile_rows:2 ~tile_cols:2 in
-  match Mirror.solve ~pages ~n_used:3 ~s:3 ~base:0 ~cross_steps:[| []; []; [] |] with
+  match Mirror.solve ~pages ~src_base:0 ~n_used:3 ~s:3 ~base:0 ~cross_steps:[| []; []; [] |] with
   | Some o -> Alcotest.(check int) "length" 3 (Array.length o)
   | None -> Alcotest.fail "unconstrained solve must succeed"
 
@@ -207,7 +236,7 @@ let test_mirror_solve_fig6_fold () =
   let steps01 = Page.boundary_pairs pages 0 in
   let steps12 = Page.boundary_pairs pages 1 in
   Alcotest.(check bool) "boundaries exist" true (steps01 <> [] && steps12 <> []);
-  match Mirror.solve ~pages ~n_used:3 ~s:3 ~base:0 ~cross_steps:[| steps01; steps12 |] with
+  match Mirror.solve ~pages ~src_base:0 ~n_used:3 ~s:3 ~base:0 ~cross_steps:[| steps01; steps12 |] with
   | Some o ->
       let reloc n orient pe = Mirror.relocate ~pages ~src_page:n ~dst_page:0 orient pe in
       List.iter
@@ -234,7 +263,7 @@ let test_mirror_band_reversal () =
       (Page.boundary_pairs pages 0)
   in
   Alcotest.(check bool) "junction exists" true (junction <> []);
-  match Mirror.solve ~pages ~n_used:2 ~s:2 ~base:0 ~cross_steps:[| junction |] with
+  match Mirror.solve ~pages ~src_base:0 ~n_used:2 ~s:2 ~base:0 ~cross_steps:[| junction |] with
   | Some o ->
       List.iter
         (fun (a, b) ->
@@ -307,6 +336,8 @@ let () =
           Alcotest.test_case "fold to one page exact everywhere" `Slow
             test_fold_to_one_page_always_exact;
           Alcotest.test_case "stays in target range" `Quick test_fold_stays_in_target_range;
+          Alcotest.test_case "fold from relocated base" `Quick
+            test_fold_from_relocated_base;
           Alcotest.test_case "base page relocation" `Quick
             test_fold_base_page_relocation_valid;
           Alcotest.test_case "no slot collisions" `Quick test_fold_no_slot_collisions;
