@@ -1,0 +1,23 @@
+.PHONY: all test fmt smoke ci clean
+
+all:
+	dune build
+
+test:
+	dune runtest
+
+# dune-file formatting only: the dependency contract excludes the
+# ocamlformat binary, so (formatting (enabled_for dune)) scopes @fmt to
+# what dune formats natively.
+fmt:
+	dune build @fmt
+
+# End-to-end smoke: a traced Multi/Single run in both export formats
+# (self-validated by the trace command) plus the fuzz harnesses.
+smoke:
+	dune build @smoke
+
+ci: all fmt test smoke
+
+clean:
+	dune clean

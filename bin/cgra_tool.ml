@@ -54,6 +54,59 @@ let or_die = function
       prerr_endline ("error: " ^ msg);
       exit 1
 
+(* ----- trace output helpers ----- *)
+
+let write_file path data =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let trace_format ~format ~path =
+  match format with
+  | Some f -> f
+  | None -> if Filename.check_suffix path ".jsonl" then `Jsonl else `Chrome
+
+(* Serialize, self-validate with the project's own parser, and write. *)
+let export_trace ~format ~path events =
+  let fmt = trace_format ~format ~path in
+  let data =
+    match fmt with
+    | `Jsonl -> Cgra_trace.Export.jsonl events
+    | `Chrome -> Cgra_trace.Export.chrome events
+  in
+  (match fmt with
+  | `Chrome -> (
+      match Cgra_trace.Json.parse data with
+      | Ok _ -> ()
+      | Error e -> or_die (Error ("emitted Chrome trace is not valid JSON: " ^ e)))
+  | `Jsonl ->
+      List.iteri
+        (fun i line ->
+          if line <> "" then
+            match Cgra_trace.Json.parse line with
+            | Ok _ -> ()
+            | Error e ->
+                or_die
+                  (Error (Printf.sprintf "emitted JSONL line %d is invalid: %s" (i + 1) e)))
+        (String.split_on_char '\n' data));
+  write_file path data;
+  Printf.printf "wrote %s (%s, %d events, kinds: %s)\n" path
+    (match fmt with
+    | `Jsonl -> "JSONL"
+    | `Chrome -> "Chrome trace_event; open in https://ui.perfetto.dev")
+    (List.length events)
+    (String.concat ", " (Cgra_trace.Export.kinds events))
+
+let format_arg =
+  let doc =
+    "Trace file format: $(b,chrome) (Perfetto-loadable trace_event JSON) or \
+     $(b,jsonl) (one event object per line).  Default: by file extension \
+     ($(b,.jsonl) means jsonl, anything else chrome)."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ])) None
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
 (* ----- kernels ----- *)
 
 let cmd_kernels =
@@ -148,13 +201,22 @@ let cmd_shrink =
 (* ----- simulate ----- *)
 
 let cmd_simulate =
-  let run kernel size page_pes seed paged iterations =
+  let run kernel size page_pes seed paged iterations trace_out format =
     let arch = or_die (arch_of ~size ~page_pes) in
     let k = or_die (kernel_of kernel) in
     let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
     let m = or_die (Scheduler.map ~seed kind arch k.graph) in
     let mem = Cgra_kernels.Kernels.init_memory k in
-    match Cgra_sim.Check.against_oracle m mem ~iterations with
+    let trace =
+      match trace_out with
+      | None -> Cgra_trace.Trace.null
+      | Some _ -> Cgra_trace.Trace.make ()
+    in
+    let outcome = Cgra_sim.Check.against_oracle ~trace m mem ~iterations in
+    (match trace_out with
+    | Some path -> export_trace ~format ~path (Cgra_trace.Trace.events trace)
+    | None -> ());
+    match outcome with
     | Ok () ->
         Printf.printf
           "%s on %dx%d: %d iterations executed cycle-accurately, bit-exact vs the \
@@ -167,10 +229,110 @@ let cmd_simulate =
   let paged =
     Arg.(value & flag & info [ "paged" ] ~doc:"Use the paging-constrained compiler.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record the execution (spans, counters, violations) to FILE.")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute a mapped kernel cycle-accurately and compare with the oracle.")
-    Term.(const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ iters_arg)
+    Term.(
+      const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ iters_arg
+      $ trace_out $ format_arg)
+
+(* ----- trace ----- *)
+
+let cmd_trace =
+  let run size page_pes seed mode threads need policy reconfig_cost out format =
+    let arch = or_die (arch_of ~size ~page_pes) in
+    if threads < 1 then or_die (Error "--threads must be positive");
+    if need <= 0.0 || need >= 1.0 then or_die (Error "--need must be in (0, 1)");
+    if reconfig_cost < 0.0 then or_die (Error "--reconfig-cost must be >= 0");
+    let suite = or_die (Binary.compile_suite ~seed arch) in
+    let total_pages = Cgra.n_pages arch in
+    let workload =
+      Workload.generate ~seed ~n_threads:threads ~cgra_need:need ~suite ()
+    in
+    let trace = Cgra_trace.Trace.make () in
+    let r =
+      Os_sim.run ~policy ~reconfig_cost ~trace
+        { Os_sim.suite; threads = workload; total_pages; mode }
+    in
+    let events = Cgra_trace.Trace.events trace in
+    Printf.printf
+      "%s mode on %dx%d (%d pages), %d threads, need %.3f, seed %d:\n\
+      \  makespan %.0f cycles, ipc %.2f, page utilization %.2f, %d \
+       transformations, %d stalls\n"
+      (match mode with Os_sim.Single -> "single" | Os_sim.Multi -> "multi")
+      size size total_pages threads need seed r.Os_sim.makespan r.Os_sim.ipc
+      r.Os_sim.page_utilization r.Os_sim.transformations r.Os_sim.stalls;
+    let ws = Cgra_trace.Replay.wait_statistics events in
+    if ws.Cgra_trace.Replay.n > 0 then
+      Printf.printf "  waits: %d served, mean %.0f cycles, p95 %.0f, max %.0f\n"
+        ws.Cgra_trace.Replay.n ws.Cgra_trace.Replay.mean
+        ws.Cgra_trace.Replay.p95 ws.Cgra_trace.Replay.max;
+    (* the trace must be a complete, invariant-respecting witness of the
+       run before it is worth archiving *)
+    (match
+       Cgra_verify.Os_fuzz.monitor events
+       @ Cgra_verify.Os_fuzz.replay_check r events
+     with
+    | [] ->
+        print_endline
+          "  replay: aggregates reproduced exactly from the event stream; OS \
+           invariants hold"
+    | es ->
+        List.iter (fun e -> print_endline ("TRACE DEFECT: " ^ e)) es;
+        exit 1);
+    export_trace ~format ~path:out events
+  in
+  let mode =
+    let doc = "OS mode: $(b,single) (baseline) or $(b,multi) (the paper's system)." in
+    Arg.(
+      value
+      & opt (enum [ ("single", Os_sim.Single); ("multi", Os_sim.Multi) ]) Os_sim.Multi
+      & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let threads =
+    Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N" ~doc:"Thread count.")
+  in
+  let need =
+    Arg.(
+      value & opt float 0.875
+      & info [ "need" ] ~docv:"F" ~doc:"Fraction of time each thread wants the CGRA.")
+  in
+  let policy =
+    let doc = "Contention policy: $(b,halving) (the paper's) or $(b,repack)." in
+    Arg.(
+      value
+      & opt
+          (enum [ ("halving", Allocator.Halving); ("repack", Allocator.Repack_equal) ])
+          Allocator.Halving
+      & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let reconfig_cost =
+    Arg.(
+      value & opt float 0.0
+      & info [ "reconfig-cost" ] ~docv:"CYCLES"
+          ~doc:"Cycles of stalled progress charged per PageMaster reshape.")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the OS simulator with full event tracing, verify the trace is a \
+          complete witness (replay + invariant monitor), and export it as a \
+          Chrome/Perfetto trace or JSONL.")
+    Term.(
+      const run $ size_arg $ page_arg $ seed_arg $ mode $ threads $ need $ policy
+      $ reconfig_cost $ out $ format_arg)
 
 (* ----- greedy ----- *)
 
@@ -276,7 +438,12 @@ let cmd_verify =
         let seeds = List.init n (fun i -> seed + i) in
         let o = Cgra_verify.Fuzz.run ~iterations ~seeds () in
         Format.printf "%a@." Cgra_verify.Fuzz.pp_outcome o;
-        if o.Cgra_verify.Fuzz.failures <> [] then exit 1
+        let os = Cgra_verify.Os_fuzz.run ~seeds () in
+        Format.printf "%a@." Cgra_verify.Os_fuzz.pp_outcome os;
+        if
+          o.Cgra_verify.Fuzz.failures <> []
+          || os.Cgra_verify.Os_fuzz.failures <> []
+        then exit 1
     | None ->
         let kernel =
           match kernel with
@@ -386,22 +553,47 @@ let cmd_fig8 =
     Term.(const run $ size_arg $ seed_arg)
 
 let cmd_fig9 =
-  let run size seed replicates =
+  let run size seed replicates trace_out format =
     List.iter
       (fun f ->
         print_endline (Experiments.render_fig9 f);
         print_newline ())
-      (Experiments.fig9_all ~seed ~replicates ~size ())
+      (Experiments.fig9_all ~seed ~replicates ~size ());
+    match trace_out with
+    | None -> ()
+    | Some path ->
+        (* one representative run of the figure's most contended point:
+           16 threads wanting the CGRA 87.5% of the time, Multi mode *)
+        let arch = or_die (arch_of ~size ~page_pes:4) in
+        let suite = or_die (Binary.compile_suite ~seed arch) in
+        let total_pages = Cgra.n_pages arch in
+        let threads =
+          Workload.generate ~seed ~n_threads:16 ~cgra_need:0.875 ~suite ()
+        in
+        let trace = Cgra_trace.Trace.make () in
+        ignore
+          (Os_sim.run ~trace
+             { Os_sim.suite; threads; total_pages; mode = Os_sim.Multi });
+        export_trace ~format ~path (Cgra_trace.Trace.events trace)
   in
   let replicates =
     Arg.(
       value & opt int 3
       & info [ "replicates" ] ~docv:"R" ~doc:"Random workloads per data point.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also record one representative 16-thread Multi-mode run (the \
+             figure's most contended point) to FILE.")
+  in
   Cmd.v
     (Cmd.info "fig9"
        ~doc:"Reproduce Fig. 9 (multithreading improvement) for one CGRA size.")
-    Term.(const run $ size_arg $ seed_arg $ replicates)
+    Term.(const run $ size_arg $ seed_arg $ replicates $ trace_out $ format_arg)
 
 let () =
   let doc = "multithreaded CGRA compiler, PageMaster transformation, and simulator" in
@@ -410,6 +602,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            cmd_kernels; cmd_map; cmd_shrink; cmd_simulate; cmd_encode; cmd_greedy;
-            cmd_verify; cmd_dot; cmd_fig8; cmd_fig9;
+            cmd_kernels; cmd_map; cmd_shrink; cmd_simulate; cmd_trace; cmd_encode;
+            cmd_greedy; cmd_verify; cmd_dot; cmd_fig8; cmd_fig9;
           ]))

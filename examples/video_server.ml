@@ -59,4 +59,42 @@ let () =
   show "single-threaded CGRA (today's systems)" single;
   show "multithreaded CGRA (this paper)" multi;
   Printf.printf "\nthroughput improvement: %+.1f%%\n"
-    (Os_sim.improvement_percent ~single ~multi)
+    (Os_sim.improvement_percent ~single ~multi);
+
+  (* Re-run the multithreaded case with tracing on: the event stream
+     shows the dynamics the aggregates hide — who waited how long, and
+     every PageMaster reshape with its before/after page ranges. *)
+  let trace = Cgra_trace.Trace.make () in
+  let traced =
+    Os_sim.run ~trace
+      { suite; threads; total_pages = Cgra_arch.Cgra.n_pages arch;
+        mode = Os_sim.Multi }
+  in
+  assert (traced = multi) (* tracing never changes the simulation *);
+  let events = Cgra_trace.Trace.events trace in
+  let ws = Cgra_trace.Replay.wait_statistics events in
+  Printf.printf
+    "\ntraced the multithreaded run: %d events\n\
+    \  queue: %d waits served, mean %.0f cycles, max %.0f\n"
+    (List.length events) ws.Cgra_trace.Replay.n ws.Cgra_trace.Replay.mean
+    ws.Cgra_trace.Replay.max;
+  List.iter
+    (fun (e : Cgra_trace.Trace.event) ->
+      match e.payload with
+      | Cgra_trace.Trace.Reshape r ->
+          Printf.printf "  t=%-6.0f PageMaster %s stream %d: pages [%d+%d] -> [%d+%d]\n"
+            e.time
+            (match r.kind with
+            | Cgra_trace.Trace.Shrink -> "shrinks"
+            | Cgra_trace.Trace.Expand -> "expands"
+            | Cgra_trace.Trace.Move -> "moves")
+            r.thread r.before.base r.before.len r.after.base r.after.len
+      | _ -> ())
+    events;
+  let out = "video_server.trace.json" in
+  let oc = open_out out in
+  output_string oc (Cgra_trace.Export.chrome events);
+  close_out oc;
+  Printf.printf "\nwrote %s - load it at https://ui.perfetto.dev to see the\n\
+                 streams' kernel slices, waits, and the allocated-pages track\n"
+    out

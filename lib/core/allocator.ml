@@ -9,15 +9,17 @@ type t = {
   policy : policy;
   mutable segs : seg list;  (* sorted by base, covering [0, total) *)
   desired : (int, int) Hashtbl.t;
+  trace : Cgra_trace.Trace.t;
 }
 
-let create ?(policy = Halving) ~total_pages () =
+let create ?(policy = Halving) ?(trace = Cgra_trace.Trace.null) ~total_pages () =
   if total_pages <= 0 then invalid_arg "Allocator.create: no pages";
   {
     total = total_pages;
     policy;
     segs = [ { range = { base = 0; len = total_pages }; owner = None } ];
     desired = Hashtbl.create 16;
+    trace;
   }
 
 let normalize segs =
@@ -104,10 +106,35 @@ let repack_with t ~client =
     allocation t ~client
   end
 
+let trace_range (r : range) =
+  { Cgra_trace.Trace.base = r.base; len = r.len }
+
 let request t ~client ~desired =
   if desired <= 0 then invalid_arg "Allocator.request: desired <= 0";
   if allocation t ~client <> None then invalid_arg "Allocator.request: duplicate client";
   Hashtbl.replace t.desired client desired;
+  (* snapshot the alternatives the policy is about to weigh, before the
+     segment list is rewritten *)
+  let considered =
+    if Cgra_trace.Trace.enabled t.trace then
+      List.filter_map
+        (fun s ->
+          match (s.owner, t.policy) with
+          | None, _ -> Some ("free", trace_range s.range)
+          | Some o, Halving when s.range.len >= 2 ->
+              Some (Printf.sprintf "halve c%d" o, trace_range s.range)
+          | Some o, Repack_equal ->
+              Some (Printf.sprintf "repack c%d" o, trace_range s.range)
+          | Some _, Halving -> None)
+        t.segs
+    else []
+  in
+  let decided granted =
+    Cgra_trace.Trace.emit t.trace
+      (Cgra_trace.Trace.Alloc_decision
+         { client; desired; granted = Option.map trace_range granted; considered });
+    granted
+  in
   let contended () =
     match t.policy with
     | Repack_equal -> (
@@ -142,8 +169,8 @@ let request t ~client ~desired =
             Some (carve t ~client ~want:desired free_seg))
   in
   match largest (fun s -> s.owner = None) t with
-  | Some free_seg -> Some (carve t ~client ~want:desired free_seg)
-  | None -> contended ()
+  | Some free_seg -> decided (Some (carve t ~client ~want:desired free_seg))
+  | None -> decided (contended ())
 
 let release t ~client =
   if allocation t ~client = None then invalid_arg "Allocator.release: unknown client";

@@ -26,8 +26,13 @@ type policy =
 
 type t
 
-val create : ?policy:policy -> total_pages:int -> unit -> t
-(** Default policy: [Halving]. *)
+val create :
+  ?policy:policy -> ?trace:Cgra_trace.Trace.t -> total_pages:int -> unit -> t
+(** Default policy: [Halving].  When [trace] is a live collector (default
+    {!Cgra_trace.Trace.null}), every {!request} records an
+    [Alloc_decision] event carrying the grant and the alternatives the
+    policy weighed (free segments, halving victims, repack residents);
+    the driver is expected to keep the collector's clock current. *)
 
 val request : t -> client:int -> desired:int -> range option
 (** Allocate for a new client wanting [desired] pages (its paged

@@ -48,9 +48,12 @@ let improvement_percent ~single ~multi =
   Cgra_util.Stats.improvement_percent ~baseline:single.makespan
     ~improved:multi.makespan
 
-let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
+let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
+    ?(trace = Cgra_trace.Trace.null) p =
   if p.threads = [] then invalid_arg "Os_sim.run: no threads";
   if reconfig_cost < 0.0 then invalid_arg "Os_sim.run: negative reconfig cost";
+  let module T = Cgra_trace.Trace in
+  let tracing = T.enabled trace in
   let binary name =
     match List.find_opt (fun (b : Binary.t) -> b.name = name) p.suite with
     | Some b -> b
@@ -62,7 +65,20 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
   in
   let by_id = Hashtbl.create 16 in
   List.iter (fun t -> Hashtbl.replace by_id t.id t) threads;
-  let alloc = Allocator.create ~policy ~total_pages:p.total_pages () in
+  let alloc = Allocator.create ~policy ~trace ~total_pages:p.total_pages () in
+  if tracing then
+    T.emit_at trace ~time:0.0
+      (T.Run_begin
+         {
+           mode = (match p.mode with Single -> "single" | Multi -> "multi");
+           total_pages = p.total_pages;
+           n_threads = List.length p.threads;
+           policy =
+             (match policy with
+             | Allocator.Halving -> "halving"
+             | Allocator.Repack_equal -> "repack_equal");
+           reconfig_cost;
+         });
   let waiters : int Queue.t = Queue.create () in
   let running_kernel : (int, Binary.t) Hashtbl.t = Hashtbl.create 16 in
   let cgra_busy_single = ref false in
@@ -79,6 +95,11 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
         if elapsed > 0.0 then begin
           k.iters_left <- k.iters_left -. (elapsed /. k.rate);
           busy_page_cycles := !busy_page_cycles +. (elapsed *. float_of_int k.pages);
+          (* one occupancy sample per accrual: Replay re-sums these in
+             stream order to reproduce busy_page_cycles bit-exactly *)
+          if tracing then
+            T.emit_at trace ~time:now
+              (T.Occupancy { thread = t.id; pages = k.pages; elapsed });
           k.last_update <- now
         end
     | On_cpu _ | Waiting _ | Done _ -> ()
@@ -103,6 +124,26 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
             match Allocator.allocation alloc ~client:t.id with
             | Some r when r.Allocator.len <> k.pages || r.Allocator.base <> k.base ->
                 settle now t;
+                if tracing then begin
+                  let before = { T.base = k.base; len = k.pages } in
+                  let after = { T.base = r.Allocator.base; len = r.Allocator.len } in
+                  let kind =
+                    if after.T.len < before.T.len then T.Shrink
+                    else if after.T.len > before.T.len then T.Expand
+                    else T.Move
+                  in
+                  T.count trace "os.reshapes" 1.0;
+                  T.emit_at trace ~time:now
+                    (T.Reshape
+                       {
+                         thread = t.id;
+                         kind;
+                         before;
+                         after;
+                         pages_rewritten = after.T.len;
+                         cost = reconfig_cost;
+                       })
+                end;
                 k.pages <- r.Allocator.len;
                 k.base <- r.Allocator.base;
                 k.rate <- rate_for t.id r.Allocator.len;
@@ -118,33 +159,61 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
   in
   let rec advance now t segments =
     match segments with
-    | [] -> t.state <- Done now
+    | [] ->
+        t.state <- Done now;
+        if tracing then T.emit_at trace ~time:now (T.Thread_finish { thread = t.id })
     | Thread_model.Cpu c :: rest ->
         t.state <- On_cpu rest;
         t.gen <- t.gen + 1;
         post (now +. float_of_int c) t.id t.gen
     | Thread_model.Kernel { kernel; iterations } :: rest ->
-        total_ops := !total_ops +. float_of_int (ops_of (binary kernel) * iterations);
+        let segment_ops = ops_of (binary kernel) * iterations in
+        total_ops := !total_ops +. float_of_int segment_ops;
+        if tracing then
+          T.emit_at trace ~time:now
+            (T.Kernel_request
+               {
+                 thread = t.id;
+                 kernel;
+                 iterations;
+                 ops = segment_ops;
+                 desired = Binary.pages_used (binary kernel);
+               });
         start_kernel now t ~kernel ~iterations ~rest
   (* [enqueue] is false when the thread is already the front entry of
      [waiters] (a retry from [serve]): it must neither be re-enqueued —
      that would leave a duplicate queue entry — nor counted as a fresh
      stall. *)
+  and record_stall now t ~kernel =
+    incr stalls;
+    Queue.add t.id waiters;
+    if tracing then begin
+      T.count trace "os.stalls" 1.0;
+      T.emit_at trace ~time:now
+        (T.Kernel_stall { thread = t.id; kernel; queue_depth = Queue.length waiters })
+    end
+  and record_grant now t ~kernel ~base ~pages ~shrunk ~cost ~rate =
+    if tracing then begin
+      T.count trace "os.grants" 1.0;
+      T.emit_at trace ~time:now
+        (T.Kernel_grant
+           { thread = t.id; kernel; range = { T.base; len = pages }; shrunk; cost;
+             rate })
+    end
   and start_kernel ?(enqueue = true) now t ~kernel ~iterations ~rest =
     let b = binary kernel in
     match p.mode with
     | Single ->
         if !cgra_busy_single then begin
-          if enqueue then begin
-            incr stalls;
-            Queue.add t.id waiters
-          end;
+          if enqueue then record_stall now t ~kernel;
           t.state <- Waiting (kernel, iterations, rest)
         end
         else begin
           cgra_busy_single := true;
           Hashtbl.replace running_kernel t.id b;
           let rate = float_of_int (Binary.ii_base b) in
+          record_grant now t ~kernel ~base:0 ~pages:p.total_pages ~shrunk:false
+            ~cost:0.0 ~rate;
           t.state <-
             On_cgra
               { iters_left = float_of_int iterations; rate; pages = p.total_pages;
@@ -155,13 +224,11 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
     | Multi -> (
         let desired = max 1 (min (Binary.pages_used b) p.total_pages) in
         Hashtbl.replace running_kernel t.id b;
+        T.set_clock trace now;
         match Allocator.request alloc ~client:t.id ~desired with
         | None ->
             Hashtbl.remove running_kernel t.id;
-            if enqueue then begin
-              incr stalls;
-              Queue.add t.id waiters
-            end;
+            if enqueue then record_stall now t ~kernel;
             t.state <- Waiting (kernel, iterations, rest)
         | Some r ->
             let shrunk_entry = r.Allocator.len < desired in
@@ -174,8 +241,12 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
                   base = r.Allocator.base; last_update = now +. entry_cost; rest };
             t.gen <- t.gen + 1;
             post (now +. entry_cost +. (float_of_int iterations *. rate)) t.id t.gen;
-            (* the request may have shrunk a victim *)
-            resync now)
+            (* the request may have shrunk a victim; PageMaster reshapes it
+               before the newcomer occupies the freed half, so the victim's
+               Reshape event must precede the newcomer's grant *)
+            resync now;
+            record_grant now t ~kernel ~base:r.Allocator.base ~pages:r.Allocator.len
+              ~shrunk:shrunk_entry ~cost:entry_cost ~rate)
   (* The waiter stays at the front of [waiters] while it retries; the
      caller pops it only on success. *)
   and try_start_waiter now wid =
@@ -185,15 +256,30 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
         start_kernel ~enqueue:false now w ~kernel ~iterations ~rest;
         match w.state with Waiting _ -> false | _ -> true)
     | On_cpu _ | On_cgra _ | Done _ -> true (* stale entry; drop it *)
+  and record_release now t ~base ~pages =
+    if tracing then
+      let kernel =
+        match Hashtbl.find_opt running_kernel t.id with
+        | Some (b : Binary.t) -> b.name
+        | None -> "?"
+      in
+      T.emit_at trace ~time:now
+        (T.Kernel_release { thread = t.id; kernel; range = { T.base; len = pages } })
   and finish_kernel now t rest =
     (match p.mode with
     | Single -> (
+        record_release now t ~base:0 ~pages:p.total_pages;
         cgra_busy_single := false;
         Hashtbl.remove running_kernel t.id;
         match Queue.peek_opt waiters with
         | Some wid -> if try_start_waiter now wid then ignore (Queue.take waiters)
         | None -> ())
     | Multi ->
+        (if tracing then
+           match Allocator.allocation alloc ~client:t.id with
+           | Some r -> record_release now t ~base:r.Allocator.base ~pages:r.Allocator.len
+           | None -> ());
+        T.set_clock trace now;
         Allocator.release alloc ~client:t.id;
         Hashtbl.remove running_kernel t.id;
         let rec serve () =
@@ -212,7 +298,12 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
   in
   (* kick off *)
   List.iter2
-    (fun t (spec : Thread_model.t) -> advance 0.0 t spec.segments)
+    (fun t (spec : Thread_model.t) ->
+      if tracing then
+        T.emit_at trace ~time:0.0
+          (T.Thread_arrival
+             { thread = t.id; segments = List.length spec.segments });
+      advance 0.0 t spec.segments)
     threads p.threads;
   let rec loop () =
     match Cgra_util.Pqueue.pop !queue with
@@ -242,6 +333,10 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0) p =
       threads
   in
   let makespan = List.fold_left (fun acc (_, f) -> Float.max acc f) 0.0 finishes in
+  if tracing then begin
+    T.count trace "os.transformations" (float_of_int !transformations);
+    T.emit_at trace ~time:makespan (T.Run_end { makespan })
+  end;
   {
     makespan;
     finishes;

@@ -35,7 +35,12 @@ type result_t = {
   stalls : int;  (** kernel requests that had to queue *)
 }
 
-val run : ?policy:Allocator.policy -> ?reconfig_cost:float -> params -> result_t
+val run :
+  ?policy:Allocator.policy ->
+  ?reconfig_cost:float ->
+  ?trace:Cgra_trace.Trace.t ->
+  params ->
+  result_t
 (** Raises [Invalid_argument] on unknown kernels or an empty thread
     list.
 
@@ -44,7 +49,15 @@ val run : ?policy:Allocator.policy -> ?reconfig_cost:float -> params -> result_t
     stalled progress to a kernel each time PageMaster reshapes it — the
     paper argues the transformation is negligible next to the overlapped
     code/data transfer; the ablation benches sweep this to find where the
-    argument would break. *)
+    argument would break.
+
+    [trace] (default {!Cgra_trace.Trace.null}, which costs one branch per
+    emission point) records the full event timeline: thread arrivals and
+    finishes, kernel request/grant/stall/release, PageMaster reshapes
+    with before/after ranges and cycles charged, allocator decisions,
+    and per-interval page-occupancy samples.  The stream is complete:
+    {!Cgra_trace.Replay.aggregates} folds it back into a record equal to
+    the returned {!result_t} field for field. *)
 
 val improvement_percent : single:result_t -> multi:result_t -> float
 (** Throughput improvement of Multi over Single:

@@ -1,9 +1,10 @@
 open Cgra_dfg
 
-let against_oracle (m : Cgra_mapper.Mapping.t) init ~iterations =
+let against_oracle ?(trace = Cgra_trace.Trace.null) (m : Cgra_mapper.Mapping.t)
+    init ~iterations =
   let mem_sim = Memory.copy init in
   let mem_ref = Memory.copy init in
-  let report = Exec.run m mem_sim ~iterations in
+  let report = Exec.run ~trace m mem_sim ~iterations in
   let oracle = Interp.run_history m.graph mem_ref ~iterations in
   let errors = ref (List.rev report.violations) in
   let err s = errors := s :: !errors in

@@ -5,6 +5,7 @@
     compile, shrink, execute, compare. *)
 
 val against_oracle :
+  ?trace:Cgra_trace.Trace.t ->
   Cgra_mapper.Mapping.t ->
   Cgra_dfg.Memory.t ->
   iterations:int ->
@@ -12,4 +13,5 @@ val against_oracle :
 (** [against_oracle m init ~iterations] runs the simulator and the
     interpreter on independent copies of [init] and compares.  The error
     list contains dynamic violations, value mismatches (first few), and
-    memory differences; [Ok] means bit-exact equivalence. *)
+    memory differences; [Ok] means bit-exact equivalence.  [trace] is
+    forwarded to {!Exec.run}. *)

@@ -21,7 +21,9 @@ let occupants (m : Mapping.t) =
   let hops = List.concat_map (fun (r : Mapping.route) -> r.hops) m.routes in
   ops @ hops
 
-let check ?(check_mem = true) mappings =
+let check ?(check_mem = true) ?(trace = Cgra_trace.Trace.null) mappings =
+  let module T = Cgra_trace.Trace in
+  T.with_span trace "coexec.check" @@ fun () ->
   match mappings with
   | [] -> Error [ "Coexec.check: no residents" ]
   | first :: rest ->
@@ -80,7 +82,15 @@ let check ?(check_mem = true) mappings =
                 hyperperiod n arch.Cgra.mem_ports_per_row)
           use
       end;
-      if !errs <> [] then Error (List.rev !errs)
+      if !errs <> [] then begin
+        let es = List.rev !errs in
+        if T.enabled trace then
+          List.iter
+            (fun e ->
+              T.emit trace (T.Mark { name = "coexec.violation"; detail = e }))
+            es;
+        Error es
+      end
       else begin
         let ops_of (m : Mapping.t) =
           Array.fold_left
@@ -93,23 +103,41 @@ let check ?(check_mem = true) mappings =
               acc +. (float_of_int (ops_of m) /. float_of_int m.ii))
             0.0 mappings
         in
-        Ok
+        let report =
           {
             residents = List.length mappings;
             hyperperiod;
             ipc;
             utilization = ipc /. float_of_int (Cgra.pe_count arch);
           }
+        in
+        if T.enabled trace then begin
+          T.emit trace
+            (T.Counter
+               { name = "coexec.residents";
+                 value = float_of_int report.residents });
+          T.emit trace
+            (T.Counter
+               { name = "coexec.hyperperiod";
+                 value = float_of_int report.hyperperiod });
+          T.emit trace (T.Counter { name = "coexec.ipc"; value = report.ipc });
+          T.emit trace
+            (T.Counter
+               { name = "coexec.utilization"; value = report.utilization })
+        end;
+        Ok report
       end
 
-let simulate residents ~iterations =
-  match check ~check_mem:false (List.map fst residents) with
+let simulate ?(trace = Cgra_trace.Trace.null) residents ~iterations =
+  let module T = Cgra_trace.Trace in
+  T.with_span trace "coexec.simulate" @@ fun () ->
+  match check ~check_mem:false ~trace (List.map fst residents) with
   | Error es -> Error es
   | Ok _ ->
       let failures =
         List.concat_map
           (fun ((m : Mapping.t), mem) ->
-            match Check.against_oracle m mem ~iterations with
+            match Check.against_oracle ~trace m mem ~iterations with
             | Ok () -> []
             | Error es ->
                 List.map

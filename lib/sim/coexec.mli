@@ -19,15 +19,25 @@ type report = {
 }
 
 val check :
-  ?check_mem:bool -> Cgra_mapper.Mapping.t list -> (report, string list) result
+  ?check_mem:bool ->
+  ?trace:Cgra_trace.Trace.t ->
+  Cgra_mapper.Mapping.t list ->
+  (report, string list) result
 (** All mappings must target the same fabric.  Errors list PE slot
     overlaps between residents and row-bus over-subscriptions
     ([check_mem:false] skips the latter, as for transformed schedules —
-    see [Mapping.validate]). *)
+    see [Mapping.validate]).
+
+    When [trace] is live the check runs inside a [coexec.check] span; the
+    report lands as [coexec.*] counter events and every violation as a
+    [Mark]. *)
 
 val simulate :
+  ?trace:Cgra_trace.Trace.t ->
   (Cgra_mapper.Mapping.t * Cgra_dfg.Memory.t) list ->
   iterations:int ->
   (unit, string list) result
 (** {!check} (without the bus check) plus a cycle-accurate run of each
-    resident compared against the interpreter. *)
+    resident compared against the interpreter.  [trace] wraps the whole
+    call in a [coexec.simulate] span and is forwarded to
+    {!Check.against_oracle}. *)

@@ -14,8 +14,13 @@ type event =
 
 let edge_key (e : Graph.edge) = (e.src, e.dst, e.operand)
 
-let run (m : Mapping.t) mem ~iterations =
+let run ?(trace = Cgra_trace.Trace.null) (m : Mapping.t) mem ~iterations =
   if iterations < 0 then invalid_arg "Exec.run: negative iteration count";
+  let module T = Cgra_trace.Trace in
+  let tracing = T.enabled trace in
+  let span = Printf.sprintf "exec:%s" (Graph.name m.graph) in
+  let t0 = T.clock trace in
+  if tracing then T.emit trace (T.Span_begin { name = span });
   let g = m.graph in
   let grid = m.arch.Cgra.grid in
   let violations = ref [] in
@@ -132,4 +137,19 @@ let run (m : Mapping.t) mem ~iterations =
   let cycles =
     match List.rev events with [] -> 0 | (c, _, _) :: _ -> c + 1
   in
-  { cycles; values; violations = List.rev !violations }
+  let violations = List.rev !violations in
+  if tracing then begin
+    T.count trace "exec.cycles" (float_of_int cycles);
+    T.count trace "exec.violations" (float_of_int (List.length violations));
+    T.emit trace
+      (T.Counter { name = "exec.cycles"; value = float_of_int cycles });
+    T.emit trace
+      (T.Counter
+         { name = "exec.violations";
+           value = float_of_int (List.length violations) });
+    List.iter
+      (fun v -> T.emit trace (T.Mark { name = "exec.violation"; detail = v }))
+      violations;
+    T.emit_at trace ~time:(t0 +. float_of_int cycles) (T.Span_end { name = span })
+  end;
+  { cycles; values; violations }

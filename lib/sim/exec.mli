@@ -18,6 +18,15 @@ type report = {
 }
 
 val run :
-  Cgra_mapper.Mapping.t -> Cgra_dfg.Memory.t -> iterations:int -> report
+  ?trace:Cgra_trace.Trace.t ->
+  Cgra_mapper.Mapping.t ->
+  Cgra_dfg.Memory.t ->
+  iterations:int ->
+  report
 (** Executes [iterations] loop iterations, mutating the given memory.
-    Raises [Invalid_argument] on negative iteration counts. *)
+    Raises [Invalid_argument] on negative iteration counts.
+
+    When [trace] is live, the run is bracketed by an [exec:<kernel>] span
+    whose end time is the trace clock advanced by [cycles]; the
+    [exec.cycles] / [exec.violations] counters are bumped and every
+    dynamic violation is recorded as a [Mark]. *)

@@ -1,0 +1,222 @@
+open Trace
+
+let range_json (r : page_range) =
+  Json.Obj [ ("base", Json.num_of_int r.base); ("len", Json.num_of_int r.len) ]
+
+let kind_json p = Json.Str (kind_name p)
+
+let reshape_kind_name = function
+  | Shrink -> "shrink"
+  | Expand -> "expand"
+  | Move -> "move"
+
+let payload_fields = function
+  | Run_begin r ->
+      [
+        ("mode", Json.Str r.mode);
+        ("total_pages", Json.num_of_int r.total_pages);
+        ("threads", Json.num_of_int r.n_threads);
+        ("policy", Json.Str r.policy);
+        ("reconfig_cost", Json.Num r.reconfig_cost);
+      ]
+  | Run_end r -> [ ("makespan", Json.Num r.makespan) ]
+  | Thread_arrival r ->
+      [ ("thread", Json.num_of_int r.thread); ("segments", Json.num_of_int r.segments) ]
+  | Thread_finish r -> [ ("thread", Json.num_of_int r.thread) ]
+  | Kernel_request r ->
+      [
+        ("thread", Json.num_of_int r.thread);
+        ("kernel", Json.Str r.kernel);
+        ("iterations", Json.num_of_int r.iterations);
+        ("ops", Json.num_of_int r.ops);
+        ("desired", Json.num_of_int r.desired);
+      ]
+  | Kernel_grant r ->
+      [
+        ("thread", Json.num_of_int r.thread);
+        ("kernel", Json.Str r.kernel);
+        ("range", range_json r.range);
+        ("shrunk", Json.Bool r.shrunk);
+        ("cost", Json.Num r.cost);
+        ("rate", Json.Num r.rate);
+      ]
+  | Kernel_stall r ->
+      [
+        ("thread", Json.num_of_int r.thread);
+        ("kernel", Json.Str r.kernel);
+        ("queue_depth", Json.num_of_int r.queue_depth);
+      ]
+  | Kernel_release r ->
+      [
+        ("thread", Json.num_of_int r.thread);
+        ("kernel", Json.Str r.kernel);
+        ("range", range_json r.range);
+      ]
+  | Reshape r ->
+      [
+        ("thread", Json.num_of_int r.thread);
+        ("reshape", Json.Str (reshape_kind_name r.kind));
+        ("before", range_json r.before);
+        ("after", range_json r.after);
+        ("pages_rewritten", Json.num_of_int r.pages_rewritten);
+        ("cost", Json.Num r.cost);
+      ]
+  | Occupancy r ->
+      [
+        ("thread", Json.num_of_int r.thread);
+        ("pages", Json.num_of_int r.pages);
+        ("elapsed", Json.Num r.elapsed);
+      ]
+  | Alloc_decision r ->
+      [
+        ("client", Json.num_of_int r.client);
+        ("desired", Json.num_of_int r.desired);
+        ( "granted",
+          match r.granted with Some g -> range_json g | None -> Json.Null );
+        ( "considered",
+          Json.Arr
+            (List.map
+               (fun (what, range) ->
+                 Json.Obj [ ("what", Json.Str what); ("range", range_json range) ])
+               r.considered) );
+      ]
+  | Counter r -> [ ("name", Json.Str r.name); ("value", Json.Num r.value) ]
+  | Span_begin r -> [ ("name", Json.Str r.name) ]
+  | Span_end r -> [ ("name", Json.Str r.name) ]
+  | Mark r -> [ ("name", Json.Str r.name); ("detail", Json.Str r.detail) ]
+
+let event_json (e : event) =
+  Json.Obj
+    (("seq", Json.num_of_int e.seq)
+    :: ("t", Json.Num e.time)
+    :: ("kind", kind_json e.payload)
+    :: payload_fields e.payload)
+
+let jsonl events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_json e));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let kinds events =
+  List.sort_uniq String.compare
+    (List.map (fun (e : event) -> kind_name e.payload) events)
+
+(* ----- Chrome trace_event ----- *)
+
+(* Track layout: pid 1 carries one row per simulated thread (kernel
+   occupancy slices and wait slices), pid 2 carries the runtime itself
+   (allocator decisions, spans, marks) and the counter tracks. *)
+
+let chrome ?(process_name = "cgra") events =
+  let out = ref [] in
+  let push v = out := v :: !out in
+  let ev ?(pid = 1) ?(tid = 0) ?args ~cat ~name ~ph ~ts () =
+    push
+      (Json.Obj
+         ([
+            ("name", Json.Str name);
+            ("cat", Json.Str cat);
+            ("ph", Json.Str ph);
+            ("ts", Json.Num ts);
+            ("pid", Json.num_of_int pid);
+            ("tid", Json.num_of_int tid);
+          ]
+         @ match args with None -> [] | Some a -> [ ("args", Json.Obj a) ]))
+  in
+  let metadata ~pid ?tid which name =
+    push
+      (Json.Obj
+         ([
+            ("name", Json.Str which);
+            ("ph", Json.Str "M");
+            ("pid", Json.num_of_int pid);
+          ]
+         @ (match tid with Some t -> [ ("tid", Json.num_of_int t) ] | None -> [])
+         @ [ ("args", Json.Obj [ ("name", Json.Str name) ]) ]))
+  in
+  metadata ~pid:1 "process_name" (process_name ^ " threads");
+  metadata ~pid:2 "process_name" (process_name ^ " runtime");
+  let counter ~ts name value =
+    ev ~pid:2 ~cat:"counter" ~name ~ph:"C" ~ts
+      ~args:[ ("value", Json.num_of_int value) ]
+      ()
+  in
+  (* derived running totals for the counter tracks *)
+  let allocated = ref 0 in
+  let queue_depth = ref 0 in
+  let waiting : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let handle (e : event) =
+    let ts = e.time in
+    let cat = kind_name e.payload in
+    match e.payload with
+    | Run_begin r ->
+        ev ~cat ~name:(Printf.sprintf "run %s" r.mode) ~ph:"i" ~ts
+          ~args:(payload_fields e.payload) ()
+    | Run_end _ ->
+        ev ~cat ~name:"run end" ~ph:"i" ~ts ~args:(payload_fields e.payload) ()
+    | Thread_arrival r ->
+        metadata ~pid:1 ~tid:r.thread "thread_name"
+          (Printf.sprintf "thread %d" r.thread);
+        ev ~tid:r.thread ~cat ~name:"arrival" ~ph:"i" ~ts
+          ~args:(payload_fields e.payload) ()
+    | Thread_finish r ->
+        ev ~tid:r.thread ~cat ~name:"finish" ~ph:"i" ~ts ()
+    | Kernel_request r ->
+        ev ~tid:r.thread ~cat ~name:("request " ^ r.kernel) ~ph:"i" ~ts
+          ~args:(payload_fields e.payload) ()
+    | Kernel_stall r ->
+        Hashtbl.replace waiting r.thread r.kernel;
+        incr queue_depth;
+        ev ~tid:r.thread ~cat ~name:("wait:" ^ r.kernel) ~ph:"B" ~ts
+          ~args:(payload_fields e.payload) ();
+        counter ~ts "queue_depth" !queue_depth
+    | Kernel_grant r ->
+        (match Hashtbl.find_opt waiting r.thread with
+        | Some k ->
+            Hashtbl.remove waiting r.thread;
+            decr queue_depth;
+            ev ~tid:r.thread ~cat ~name:("wait:" ^ k) ~ph:"E" ~ts ();
+            counter ~ts "queue_depth" !queue_depth
+        | None -> ());
+        allocated := !allocated + r.range.len;
+        ev ~tid:r.thread ~cat ~name:r.kernel ~ph:"B" ~ts
+          ~args:(payload_fields e.payload) ();
+        counter ~ts "allocated_pages" !allocated
+    | Kernel_release r ->
+        allocated := !allocated - r.range.len;
+        ev ~tid:r.thread ~cat ~name:r.kernel ~ph:"E" ~ts ();
+        counter ~ts "allocated_pages" !allocated
+    | Reshape r ->
+        allocated := !allocated + r.after.len - r.before.len;
+        ev ~tid:r.thread ~cat
+          ~name:(reshape_kind_name r.kind)
+          ~ph:"i" ~ts ~args:(payload_fields e.payload) ();
+        counter ~ts "allocated_pages" !allocated
+    | Occupancy _ -> ()  (* already visible as slice durations *)
+    | Alloc_decision r ->
+        ev ~pid:2 ~cat
+          ~name:(Printf.sprintf "alloc c%d" r.client)
+          ~ph:"i" ~ts ~args:(payload_fields e.payload) ()
+    | Counter r ->
+        ev ~pid:2 ~cat ~name:r.name ~ph:"C" ~ts
+          ~args:[ ("value", Json.Num r.value) ]
+          ()
+    | Span_begin r -> ev ~pid:2 ~cat ~name:r.name ~ph:"B" ~ts ()
+    | Span_end r -> ev ~pid:2 ~cat ~name:r.name ~ph:"E" ~ts ()
+    | Mark r ->
+        ev ~pid:2 ~cat ~name:r.name ~ph:"i" ~ts
+          ~args:[ ("detail", Json.Str r.detail) ]
+          ()
+  in
+  List.iter handle events;
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.Arr (List.rev !out));
+         ("displayTimeUnit", Json.Str "ms");
+         ("otherData", Json.Obj [ ("clock", Json.Str "cgra-cycles") ]);
+       ])

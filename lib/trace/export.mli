@@ -1,0 +1,28 @@
+(** Trace serialization.
+
+    Two formats, both built on {!Json}:
+
+    - {b JSONL} — one self-describing object per event, in emission
+      order.  This is the canonical archival format: it is byte-stable
+      for a fixed seed (the test-suite's determinism golden), loads with
+      one [read_line] loop from any language, and {!Replay} consumes the
+      same event stream it encodes.
+    - {b Chrome [trace_event]} — a JSON object loadable in Perfetto or
+      [chrome://tracing].  Kernel occupancy becomes duration slices per
+      thread track, stall-to-grant waits become ["wait:<kernel>"]
+      slices, reshapes and arrivals become instants, and allocated-page /
+      queue-depth totals become counter tracks.  Timestamps are CGRA
+      cycles (displayed as microseconds — the unit label is cosmetic). *)
+
+val event_json : Trace.event -> Json.value
+(** Flat object: [{"seq":…,"t":…,"kind":…, …payload fields}]. *)
+
+val jsonl : Trace.event list -> string
+(** One {!event_json} per line, trailing newline included. *)
+
+val chrome : ?process_name:string -> Trace.event list -> string
+(** A complete [{"traceEvents": […], …}] document.  Every entry carries
+    the originating event kind in its ["cat"] field. *)
+
+val kinds : Trace.event list -> string list
+(** Distinct {!Trace.kind_name}s present, sorted. *)

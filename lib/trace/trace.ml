@@ -1,0 +1,168 @@
+type page_range = { base : int; len : int }
+
+type reshape_kind = Shrink | Expand | Move
+
+type payload =
+  | Run_begin of {
+      mode : string;
+      total_pages : int;
+      n_threads : int;
+      policy : string;
+      reconfig_cost : float;
+    }
+  | Run_end of { makespan : float }
+  | Thread_arrival of { thread : int; segments : int }
+  | Thread_finish of { thread : int }
+  | Kernel_request of {
+      thread : int;
+      kernel : string;
+      iterations : int;
+      ops : int;
+      desired : int;
+    }
+  | Kernel_grant of {
+      thread : int;
+      kernel : string;
+      range : page_range;
+      shrunk : bool;
+      cost : float;
+      rate : float;
+    }
+  | Kernel_stall of { thread : int; kernel : string; queue_depth : int }
+  | Kernel_release of { thread : int; kernel : string; range : page_range }
+  | Reshape of {
+      thread : int;
+      kind : reshape_kind;
+      before : page_range;
+      after : page_range;
+      pages_rewritten : int;
+      cost : float;
+    }
+  | Occupancy of { thread : int; pages : int; elapsed : float }
+  | Alloc_decision of {
+      client : int;
+      desired : int;
+      granted : page_range option;
+      considered : (string * page_range) list;
+    }
+  | Counter of { name : string; value : float }
+  | Span_begin of { name : string }
+  | Span_end of { name : string }
+  | Mark of { name : string; detail : string }
+
+type event = { seq : int; time : float; payload : payload }
+
+type state = {
+  mutable rev_events : event list;
+  mutable next_seq : int;
+  mutable now : float;
+  totals : (string, float ref) Hashtbl.t;
+}
+
+type t = Null | On of state
+
+let null = Null
+
+let make () =
+  On { rev_events = []; next_seq = 0; now = 0.0; totals = Hashtbl.create 16 }
+
+let enabled = function Null -> false | On _ -> true
+
+let set_clock t time = match t with Null -> () | On s -> s.now <- time
+
+let clock = function Null -> 0.0 | On s -> s.now
+
+let emit_at t ~time payload =
+  match t with
+  | Null -> ()
+  | On s ->
+      s.now <- time;
+      s.rev_events <- { seq = s.next_seq; time; payload } :: s.rev_events;
+      s.next_seq <- s.next_seq + 1
+
+let emit t payload =
+  match t with Null -> () | On s -> emit_at t ~time:s.now payload
+
+let events = function Null -> [] | On s -> List.rev s.rev_events
+
+let n_events = function Null -> 0 | On s -> s.next_seq
+
+let count t name v =
+  match t with
+  | Null -> ()
+  | On s -> (
+      match Hashtbl.find_opt s.totals name with
+      | Some r -> r := !r +. v
+      | None -> Hashtbl.add s.totals name (ref v))
+
+let counters = function
+  | Null -> []
+  | On s ->
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) s.totals []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let with_span t name f =
+  match t with
+  | Null -> f ()
+  | On _ ->
+      emit t (Span_begin { name });
+      Fun.protect ~finally:(fun () -> emit t (Span_end { name })) f
+
+let kind_name = function
+  | Run_begin _ -> "run_begin"
+  | Run_end _ -> "run_end"
+  | Thread_arrival _ -> "thread_arrival"
+  | Thread_finish _ -> "thread_finish"
+  | Kernel_request _ -> "kernel_request"
+  | Kernel_grant _ -> "kernel_grant"
+  | Kernel_stall _ -> "kernel_stall"
+  | Kernel_release _ -> "kernel_release"
+  | Reshape _ -> "reshape"
+  | Occupancy _ -> "occupancy"
+  | Alloc_decision _ -> "alloc_decision"
+  | Counter _ -> "counter"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+  | Mark _ -> "mark"
+
+let pp_range ppf (r : page_range) = Format.fprintf ppf "[%d+%d]" r.base r.len
+
+let pp_event ppf e =
+  Format.fprintf ppf "@[%6.0f #%d %s" e.time e.seq (kind_name e.payload);
+  (match e.payload with
+  | Run_begin r ->
+      Format.fprintf ppf " mode=%s pages=%d threads=%d policy=%s cost=%g" r.mode
+        r.total_pages r.n_threads r.policy r.reconfig_cost
+  | Run_end r -> Format.fprintf ppf " makespan=%g" r.makespan
+  | Thread_arrival r -> Format.fprintf ppf " t%d segments=%d" r.thread r.segments
+  | Thread_finish r -> Format.fprintf ppf " t%d" r.thread
+  | Kernel_request r ->
+      Format.fprintf ppf " t%d %s x%d ops=%d desired=%d" r.thread r.kernel
+        r.iterations r.ops r.desired
+  | Kernel_grant r ->
+      Format.fprintf ppf " t%d %s %a%s cost=%g rate=%g" r.thread r.kernel pp_range
+        r.range
+        (if r.shrunk then " (shrunk)" else "")
+        r.cost r.rate
+  | Kernel_stall r ->
+      Format.fprintf ppf " t%d %s depth=%d" r.thread r.kernel r.queue_depth
+  | Kernel_release r ->
+      Format.fprintf ppf " t%d %s %a" r.thread r.kernel pp_range r.range
+  | Reshape r ->
+      Format.fprintf ppf " t%d %s %a -> %a rewritten=%d cost=%g" r.thread
+        (match r.kind with Shrink -> "shrink" | Expand -> "expand" | Move -> "move")
+        pp_range r.before pp_range r.after r.pages_rewritten r.cost
+  | Occupancy r ->
+      Format.fprintf ppf " t%d pages=%d elapsed=%g" r.thread r.pages r.elapsed
+  | Alloc_decision r ->
+      Format.fprintf ppf " c%d desired=%d granted=%s considered=%d" r.client
+        r.desired
+        (match r.granted with
+        | Some g -> Format.asprintf "%a" pp_range g
+        | None -> "none")
+        (List.length r.considered)
+  | Counter r -> Format.fprintf ppf " %s=%g" r.name r.value
+  | Span_begin r -> Format.fprintf ppf " %s" r.name
+  | Span_end r -> Format.fprintf ppf " %s" r.name
+  | Mark r -> Format.fprintf ppf " %s: %s" r.name r.detail);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,64 @@
+(** Property-based fuzzing of the OS layer through its trace.
+
+    Where {!Fuzz} shakes the compile → fold → execute pipeline, this
+    module shakes the runtime above it: random workloads are run through
+    {!Cgra_core.Os_sim} with a live trace collector, and the emitted
+    event stream is held to the OS invariants that the aggregate
+    [result_t] cannot express:
+
+    - the service queue never holds a thread twice, and every stall
+      event's reported depth matches a replayed queue;
+    - pages are conserved at {e every} instant: allocations stay
+      disjoint, in bounds, and never exceed the fabric at each timestamp
+      boundary (events sharing a timestamp are one transaction — a
+      repack rewrites several residents at once);
+    - every occupancy sample matches the pages its thread actually holds
+      at that moment;
+    - grants, reshapes, and releases are consistent with the held ranges
+      they claim to transform;
+    - threads finish exactly once, holding nothing, queued nowhere, and
+      the run ends with the fabric empty;
+    - event times never go backwards.
+
+    Each traced run is then folded back through
+    {!Cgra_trace.Replay.aggregates} and compared {e exactly} — every
+    field, including the float accumulations — against the simulator's
+    own [result_t]; in particular [stalls] must equal the number of
+    observed queue events.  Everything is reproducible from the seed. *)
+
+val monitor : Cgra_trace.Trace.event list -> string list
+(** Check the stream invariants above; [[]] means they all hold.
+    Messages carry the offending event's sequence number. *)
+
+val replay_check :
+  Cgra_core.Os_sim.result_t -> Cgra_trace.Trace.event list -> string list
+(** Fold the stream through {!Cgra_trace.Replay.aggregates} and compare
+    every field — exactly, floats included — against the simulator's
+    result; [[]] means the trace is a complete witness. *)
+
+val check_run :
+  ?policy:Cgra_core.Allocator.policy ->
+  ?reconfig_cost:float ->
+  Cgra_core.Os_sim.params ->
+  int * string list
+(** Run the simulator with a fresh collector, monitor the stream, and
+    cross-check {!Cgra_trace.Replay.aggregates} against the returned
+    [result_t].  Returns (events checked, failures). *)
+
+type outcome = {
+  cases : int;  (** seeds attempted *)
+  runs : int;  (** traced simulations (two per seed: Single and Multi) *)
+  events : int;  (** events monitored across all runs *)
+  failures : string list;  (** human-readable, with seed context; [] = pass *)
+}
+
+val default_fabrics : (int * int) list
+(** [(size, page_pes)] choices: [(4, 4); (4, 2)] — the contended fabrics
+    where stalls, halving, and repacking actually happen. *)
+
+val run : ?fabrics:(int * int) list -> seeds:int list -> unit -> outcome
+(** Each seed picks a fabric, a thread count in [2..9], a CGRA-need
+    level, a policy, and a reconfiguration cost, then checks both Single
+    and Multi modes.  Suites are compiled once per fabric. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
