@@ -1,4 +1,4 @@
-.PHONY: all test fmt smoke ci clean
+.PHONY: all test fmt smoke ci clean bench-json fuzz-deep
 
 all:
 	dune build
@@ -18,6 +18,21 @@ smoke:
 	dune build @smoke
 
 ci: all fmt test smoke
+
+# Regenerate the committed perf baselines at the repo root.  BENCH_micro
+# is single-domain by construction (per-call latencies); BENCH_fig9 uses
+# every core, so compare wall-clock only across hosts with the same
+# CGRA_DOMAINS.
+bench-json:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- micro --json
+	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- fig9 --json
+
+# Long fuzz across all cores: the corpus that caught the absolute-page
+# indexing bugs, two orders of magnitude deeper than the @smoke run.
+fuzz-deep:
+	dune build bin/cgra_tool.exe
+	CGRA_DOMAINS=$$(nproc) dune exec bin/cgra_tool.exe -- verify --fuzz 10000
 
 clean:
 	dune clean

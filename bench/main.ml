@@ -2,10 +2,18 @@
    and micro-benchmarks the PageMaster transformation (the low-order
    polynomial-time claim) and the compiler.
 
-   Usage:  dune exec bench/main.exe            (everything)
-           dune exec bench/main.exe -- fig8    (Fig. 8 only)
-           dune exec bench/main.exe -- fig9    (Fig. 9 only)
-           dune exec bench/main.exe -- micro   (bechamel micro-benchmarks) *)
+   Usage:  dune exec bench/main.exe                  (everything)
+           dune exec bench/main.exe -- fig8          (Fig. 8 only)
+           dune exec bench/main.exe -- fig9          (Fig. 9 only)
+           dune exec bench/main.exe -- micro         (bechamel micro-benchmarks)
+           dune exec bench/main.exe -- micro --json  (also write BENCH_micro.json)
+           dune exec bench/main.exe -- fig9 --json   (also write BENCH_fig9.json)
+
+   Parallel sections (fig8/fig9/ablation sweeps) fan out across
+   CGRA_DOMAINS worker domains; output is byte-identical at any width.
+   The BENCH_*.json files at the repo root are the committed perf
+   baseline — regenerate with `make bench-json` and compare trajectories
+   across PRs. *)
 
 open Cgra_core
 
@@ -13,9 +21,51 @@ let line = String.make 78 '='
 
 let section title = Printf.printf "\n%s\n%s\n%s\n" line title line
 
+(* ----- machine-readable baselines ----- *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* [results] are (name, value) points in [unit_]; validated with the
+   project's own JSON parser before the file is written *)
+let write_bench_json ~path ~bench ~unit_ ~domains ~extras results =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"bench\": %s,\n" (json_string bench);
+  Printf.bprintf b "  \"domains\": %d,\n" domains;
+  List.iter (fun (k, v) -> Printf.bprintf b "  %s: %s,\n" (json_string k) v) extras;
+  Printf.bprintf b "  \"unit\": %s,\n" (json_string unit_);
+  Buffer.add_string b "  \"results\": [\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.bprintf b "    { \"name\": %s, \"value\": %.3f }%s\n"
+        (json_string name) v
+        (if i = n - 1 then "" else ","))
+    results;
+  Buffer.add_string b "  ]\n}\n";
+  let data = Buffer.contents b in
+  (match Cgra_trace.Json.parse data with
+  | Ok _ -> ()
+  | Error e -> failwith ("emitted " ^ path ^ " is not valid JSON: " ^ e));
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data);
+  Printf.printf "\nwrote %s (%d results, %s)\n" path n unit_
+
 (* ----- Fig. 8: compile-time constraint cost ----- *)
 
-let run_fig8 () =
+let run_fig8 ~pool () =
   section "Figure 8 - performance cost of the paging constraints (100 * II_b / II_c)";
   List.iter
     (fun size ->
@@ -23,24 +73,37 @@ let run_fig8 () =
         (fun f ->
           print_newline ();
           print_endline (Experiments.render_fig8 f))
-        (Experiments.fig8_all ~size ()))
+        (Experiments.fig8_all ~pool ~size ()))
     Experiments.cgra_sizes
 
 (* ----- Fig. 9: multithreading improvement ----- *)
 
-let run_fig9 ~replicates () =
+let run_fig9 ~pool ~replicates ~json () =
   section
     (Printf.sprintf
        "Figure 9 - throughput improvement of multithreading (mean of %d workloads)"
        replicates);
-  List.iter
-    (fun size ->
-      List.iter
-        (fun f ->
-          print_newline ();
-          print_endline (Experiments.render_fig9 f))
-        (Experiments.fig9_all ~replicates ~size ()))
-    Experiments.cgra_sizes
+  Binary.clear_cache ();
+  let timed =
+    List.map
+      (fun size ->
+        let t0 = Unix.gettimeofday () in
+        let figs = Experiments.fig9_all ~replicates ~pool ~size () in
+        let dt = Unix.gettimeofday () -. t0 in
+        List.iter
+          (fun f ->
+            print_newline ();
+            print_endline (Experiments.render_fig9 f))
+          figs;
+        (Printf.sprintf "fig9 %dx%d sweep" size size, dt))
+      Experiments.cgra_sizes
+  in
+  if json then
+    let total = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timed in
+    write_bench_json ~path:"BENCH_fig9.json" ~bench:"fig9" ~unit_:"wall_s"
+      ~domains:(Cgra_util.Pool.width pool)
+      ~extras:[ ("replicates", string_of_int replicates) ]
+      (timed @ [ ("fig9 full sweep", total) ])
 
 (* ----- bechamel micro-benchmarks ----- *)
 
@@ -90,7 +153,7 @@ let mapper_tests () =
              (Cgra_mapper.Scheduler.map Cgra_mapper.Scheduler.Paged arch sobel)));
   ]
 
-let run_micro () =
+let run_micro ~json () =
   section "Micro-benchmarks - PageMaster runtime vs. compiler runtime";
   let open Bechamel in
   let open Toolkit in
@@ -101,7 +164,7 @@ let run_micro () =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
     Analyze.all ols Instance.monotonic_clock raw
   in
-  let show tests =
+  let collect tests =
     let results = benchmark tests in
     let rows = ref [] in
     Hashtbl.iter
@@ -111,34 +174,44 @@ let run_micro () =
           | Some (t :: _) -> t
           | Some [] | None -> nan
         in
-        rows := (name, ns) :: !rows)
-      results;
-    List.iter
-      (fun (name, ns) ->
         let name =
           match String.index_opt name '/' with
           | Some i -> String.sub name (i + 1) (String.length name - i - 1)
           | None -> name
         in
+        rows := (name, ns) :: !rows)
+      results;
+    List.sort compare !rows
+  in
+  let show rows =
+    List.iter
+      (fun (name, ns) ->
         if ns >= 1_000_000.0 then
           Printf.printf "  %-40s %10.2f ms/run\n" name (ns /. 1e6)
         else if ns >= 1_000.0 then
           Printf.printf "  %-40s %10.2f us/run\n" name (ns /. 1e3)
         else Printf.printf "  %-40s %10.0f ns/run\n" name ns)
-      (List.sort compare !rows)
+      rows
   in
   print_endline "\nPageMaster fold (runtime transformation):";
-  show (transform_tests ());
+  let transform_rows = collect (transform_tests ()) in
+  show transform_rows;
   print_endline "\nGreedy Algorithm 1 (page-level, growing N, 8 kernel iterations):";
-  show (greedy_tests ());
+  let greedy_rows = collect (greedy_tests ()) in
+  show greedy_rows;
   print_endline
     "\nCompiler (for contrast: the transformation must be, and is, orders of\n\
      magnitude cheaper than recompiling):";
-  show (mapper_tests ())
+  let mapper_rows = collect (mapper_tests ()) in
+  show mapper_rows;
+  if json then
+    write_bench_json ~path:"BENCH_micro.json" ~bench:"micro" ~unit_:"ns_per_run"
+      ~domains:1 ~extras:[]
+      (transform_rows @ greedy_rows @ mapper_rows)
 
 (* ----- ablations (design choices DESIGN.md calls out) ----- *)
 
-let run_ablation () =
+let run_ablation ~pool () =
   section "Ablations - assumptions and design choices, varied";
   let show title = function
     | Ok rows ->
@@ -149,26 +222,35 @@ let run_ablation () =
   show
     "Reconfiguration cost per PageMaster reshape (8x8, 4-PE pages; the paper \
      assumes 0)"
-    (Experiments.ablation_reconfig_cost ~size:8 ~page_pes:4
+    (Experiments.ablation_reconfig_cost ~pool ~size:8 ~page_pes:4
        ~costs:[ 0; 10; 100; 1000; 10000 ] ());
   show "Allocation policy (8x8, 4-PE pages)"
-    (Experiments.ablation_policy ~size:8 ~page_pes:4 ());
+    (Experiments.ablation_policy ~pool ~size:8 ~page_pes:4 ());
   show "Memory ports per row bus (4x4, 4-PE pages)"
-    (Experiments.ablation_mem_ports ~size:4 ~page_pes:4 ~ports:[ 1; 2; 4; 8 ] ())
+    (Experiments.ablation_mem_ports ~pool ~size:4 ~page_pes:4 ~ports:[ 1; 2; 4; 8 ] ())
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match mode with
-  | "fig8" -> run_fig8 ()
-  | "fig9" -> run_fig9 ~replicates:3 ()
-  | "micro" -> run_micro ()
-  | "ablation" -> run_ablation ()
-  | "all" ->
-      run_fig8 ();
-      run_fig9 ~replicates:3 ();
-      run_ablation ();
-      run_micro ()
-  | other ->
-      Printf.eprintf
-        "unknown mode %s (expected fig8 | fig9 | ablation | micro | all)\n" other;
-      exit 1
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let modes = List.filter (fun a -> a <> "--json") args in
+  let mode = match modes with [] -> "all" | m :: _ -> m in
+  Cgra_util.Pool.with_pool (fun pool ->
+      if Cgra_util.Pool.width pool > 1 then
+        Printf.printf "(parallel sections across %d domains)\n"
+          (Cgra_util.Pool.width pool);
+      match mode with
+      | "fig8" -> run_fig8 ~pool ()
+      | "fig9" -> run_fig9 ~pool ~replicates:3 ~json ()
+      | "micro" -> run_micro ~json ()
+      | "ablation" -> run_ablation ~pool ()
+      | "all" ->
+          run_fig8 ~pool ();
+          run_fig9 ~pool ~replicates:3 ~json ();
+          run_ablation ~pool ();
+          run_micro ~json ()
+      | other ->
+          Printf.eprintf
+            "unknown mode %s (expected fig8 | fig9 | ablation | micro | all; \
+             flags: --json)\n"
+            other;
+          exit 1)

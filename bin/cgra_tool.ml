@@ -30,6 +30,14 @@ let iters_arg =
   let doc = "Loop iterations to simulate." in
   Arg.(value & opt int 32 & info [ "i"; "iterations" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the parallel sections (figure sweeps, fuzz corpora).  \
+     Output is byte-identical at any width.  Default: the $(b,CGRA_DOMAINS) \
+     environment variable, or 1 (sequential)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "domains" ] ~docv:"N" ~doc)
+
 let arch_of ~size ~page_pes =
   match Cgra.standard ~size ~page_pes with
   | Some a -> Ok a
@@ -431,19 +439,23 @@ let cmd_encode =
 (* ----- verify ----- *)
 
 let cmd_verify =
-  let run kernel size page_pes seed paged fold_sweep fuzz iterations =
+  let run kernel size page_pes seed paged fold_sweep fuzz iterations domains =
     match fuzz with
     | Some n ->
         if n < 0 then or_die (Error "--fuzz needs a non-negative seed count");
         let seeds = List.init n (fun i -> seed + i) in
-        let o = Cgra_verify.Fuzz.run ~iterations ~seeds () in
-        Format.printf "%a@." Cgra_verify.Fuzz.pp_outcome o;
-        let os = Cgra_verify.Os_fuzz.run ~seeds () in
-        Format.printf "%a@." Cgra_verify.Os_fuzz.pp_outcome os;
-        if
-          o.Cgra_verify.Fuzz.failures <> []
-          || os.Cgra_verify.Os_fuzz.failures <> []
-        then exit 1
+        Cgra_util.Pool.with_pool ?domains (fun pool ->
+            if Cgra_util.Pool.width pool > 1 then
+              Printf.printf "fuzzing across %d domains\n"
+                (Cgra_util.Pool.width pool);
+            let o = Cgra_verify.Fuzz.run ~iterations ~pool ~seeds () in
+            Format.printf "%a@." Cgra_verify.Fuzz.pp_outcome o;
+            let os = Cgra_verify.Os_fuzz.run ~pool ~seeds () in
+            Format.printf "%a@." Cgra_verify.Os_fuzz.pp_outcome os;
+            if
+              o.Cgra_verify.Fuzz.failures <> []
+              || os.Cgra_verify.Os_fuzz.failures <> []
+            then exit 1)
     | None ->
         let kernel =
           match kernel with
@@ -526,7 +538,7 @@ let cmd_verify =
           compile-fold-execute fuzz corpus.")
     Term.(
       const run $ kernel $ size_arg $ page_arg $ seed_arg $ paged $ fold_sweep $ fuzz
-      $ iters_arg)
+      $ iters_arg $ domains_arg)
 
 (* ----- dot ----- *)
 
@@ -541,24 +553,26 @@ let cmd_dot =
 (* ----- fig8 / fig9 ----- *)
 
 let cmd_fig8 =
-  let run size seed =
-    List.iter
-      (fun f ->
-        print_endline (Experiments.render_fig8 f);
-        print_newline ())
-      (Experiments.fig8_all ~seed ~size ())
+  let run size seed domains =
+    Cgra_util.Pool.with_pool ?domains (fun pool ->
+        List.iter
+          (fun f ->
+            print_endline (Experiments.render_fig8 f);
+            print_newline ())
+          (Experiments.fig8_all ~seed ~pool ~size ()))
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"Reproduce Fig. 8 (constraint cost) for one CGRA size.")
-    Term.(const run $ size_arg $ seed_arg)
+    Term.(const run $ size_arg $ seed_arg $ domains_arg)
 
 let cmd_fig9 =
-  let run size seed replicates trace_out format =
-    List.iter
-      (fun f ->
-        print_endline (Experiments.render_fig9 f);
-        print_newline ())
-      (Experiments.fig9_all ~seed ~replicates ~size ());
+  let run size seed replicates trace_out format domains =
+    Cgra_util.Pool.with_pool ?domains (fun pool ->
+        List.iter
+          (fun f ->
+            print_endline (Experiments.render_fig9 f);
+            print_newline ())
+          (Experiments.fig9_all ~seed ~replicates ~pool ~size ()));
     match trace_out with
     | None -> ()
     | Some path ->
@@ -593,7 +607,9 @@ let cmd_fig9 =
   Cmd.v
     (Cmd.info "fig9"
        ~doc:"Reproduce Fig. 9 (multithreading improvement) for one CGRA size.")
-    Term.(const run $ size_arg $ seed_arg $ replicates $ trace_out $ format_arg)
+    Term.(
+      const run $ size_arg $ seed_arg $ replicates $ trace_out $ format_arg
+      $ domains_arg)
 
 let () =
   let doc = "multithreaded CGRA compiler, PageMaster transformation, and simulator" in

@@ -17,7 +17,31 @@ let iteration_cycles t ~pages =
   if pages <= 0 then invalid_arg "Binary.iteration_cycles: pages <= 0";
   Transform.ii_q ~ii_p:(ii_paged t) ~n_used:(pages_used t) ~target_pages:pages
 
-let compile ?(seed = 0) arch (k : Cgra_kernels.Kernels.t) =
+(* ----- compile cache ----- *)
+
+(* [Cgra.pp] renders every field of the architecture record (grid, page
+   shape and count, register capacity, memory ports), so its output is a
+   complete fingerprint; the kernel name suffices for the kernel because
+   the bundled suite is a fixed set of named graphs. *)
+let fingerprint arch = Format.asprintf "%a" Cgra_arch.Cgra.pp arch
+
+let cache : (string * string * int, (t, string) result) Hashtbl.t =
+  Hashtbl.create 64
+
+let cache_lock = Mutex.create ()
+
+let hits = Atomic.make 0
+
+let misses = Atomic.make 0
+
+let cache_stats () = (Atomic.get hits, Atomic.get misses)
+
+let clear_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_lock
+
+let compile_uncached ~seed arch (k : Cgra_kernels.Kernels.t) =
   match Scheduler.map ~seed Unconstrained arch k.graph with
   | Error e -> Error e
   | Ok base -> (
@@ -25,14 +49,41 @@ let compile ?(seed = 0) arch (k : Cgra_kernels.Kernels.t) =
       | Error e -> Error e
       | Ok paged -> Ok { name = k.name; graph = k.graph; base; paged })
 
-let compile_suite ?(seed = 0) arch =
+let compile ?(seed = 0) arch (k : Cgra_kernels.Kernels.t) =
+  let key = (fingerprint arch, k.name, seed) in
+  let cached =
+    Mutex.lock cache_lock;
+    let r = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_lock;
+    r
+  in
+  match cached with
+  | Some r ->
+      Atomic.incr hits;
+      r
+  | None ->
+      (* compiled outside the lock: two domains may briefly duplicate the
+         same compile, but the result is deterministic so either copy is
+         interchangeable *)
+      Atomic.incr misses;
+      let r = compile_uncached ~seed arch k in
+      Mutex.lock cache_lock;
+      Hashtbl.replace cache key r;
+      Mutex.unlock cache_lock;
+      r
+
+let compile_suite ?(seed = 0) ?pool arch =
+  let compiled =
+    match pool with
+    | Some p -> Cgra_util.Pool.map p (compile ~seed arch) Cgra_kernels.Kernels.all
+    | None -> List.map (compile ~seed arch) Cgra_kernels.Kernels.all
+  in
+  (* first failure wins, in suite order, as the sequential fold did *)
   List.fold_left
-    (fun acc k ->
-      match acc with
-      | Error _ as e -> e
-      | Ok done_ -> (
-          match compile ~seed arch k with
-          | Ok b -> Ok (b :: done_)
-          | Error e -> Error e))
-    (Ok []) Cgra_kernels.Kernels.all
+    (fun acc r ->
+      match (acc, r) with
+      | (Error _ as e), _ -> e
+      | Ok done_, Ok b -> Ok (b :: done_)
+      | Ok _, Error e -> Error e)
+    (Ok []) compiled
   |> Result.map List.rev

@@ -28,7 +28,25 @@ val iteration_cycles : t -> pages:int -> int
 
 val compile :
   ?seed:int -> Cgra_arch.Cgra.t -> Cgra_kernels.Kernels.t -> (t, string) result
+(** Memoized: results are cached on (architecture fingerprint, kernel
+    name, seed), so figure sweeps and fuzz corpora that revisit the same
+    fabric stop recompiling the suite.  Compilation is deterministic per
+    key, so cached and fresh results are interchangeable; the cache is
+    safe to share across domains. *)
 
-val compile_suite : ?seed:int -> Cgra_arch.Cgra.t -> (t list, string) result
+val compile_suite :
+  ?seed:int -> ?pool:Cgra_util.Pool.t -> Cgra_arch.Cgra.t -> (t list, string) result
 (** Compile the full 11-kernel suite; fails if any kernel fails to map
-    (treated as a bug by the test-suite). *)
+    (treated as a bug by the test-suite).  With [pool], kernels compile
+    in parallel across its domains; the suite order — and on failure,
+    {e which} error is reported (the first kernel's, in suite order) —
+    is unchanged. *)
+
+val fingerprint : Cgra_arch.Cgra.t -> string
+(** The architecture component of the cache key (every [Cgra.t] field). *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the compile cache since start-up or the last
+    {!clear_cache}. *)
+
+val clear_cache : unit -> unit

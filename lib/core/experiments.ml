@@ -17,6 +17,19 @@ let cgra_sizes = [ 4; 6; 8 ]
 
 let page_sizes = [ 2; 4; 8 ]
 
+(* Optional pool plumbing: [None] keeps the historical strictly
+   sequential execution; [Some pool] fans independent tasks out across
+   its domains.  Both paths produce identical results (order-preserving
+   maps over per-task seeds), so figures are byte-identical at any
+   width. *)
+let pmap pool f xs =
+  match pool with Some p -> Cgra_util.Pool.map p f xs | None -> List.map f xs
+
+let pfilter_map pool f xs =
+  match pool with
+  | Some p -> Cgra_util.Pool.filter_map p f xs
+  | None -> List.filter_map f xs
+
 let arch_for ~size ~page_pes =
   match Cgra_arch.Cgra.standard ~size ~page_pes with
   | Some arch -> Ok arch
@@ -27,11 +40,11 @@ let arch_for ~size ~page_pes =
             potential)"
            size size page_pes)
 
-let fig8 ?(seed = 0) ~size ~page_pes () =
+let fig8 ?(seed = 0) ?pool ~size ~page_pes () =
   match arch_for ~size ~page_pes with
   | Error _ as e -> e
   | Ok arch -> (
-      match Binary.compile_suite ~seed arch with
+      match Binary.compile_suite ~seed ?pool arch with
       | Error e -> Error e
       | Ok suite ->
           let rows =
@@ -53,9 +66,9 @@ let fig8 ?(seed = 0) ~size ~page_pes () =
           in
           Ok { size; page_pes; rows; geomean_pct })
 
-let fig8_all ?(seed = 0) ~size () =
+let fig8_all ?(seed = 0) ?pool ~size () =
   List.filter_map
-    (fun page_pes -> Result.to_option (fig8 ~seed ~size ~page_pes ()))
+    (fun page_pes -> Result.to_option (fig8 ~seed ?pool ~size ~page_pes ()))
     page_sizes
 
 type fig9_point = {
@@ -77,26 +90,47 @@ let thread_counts = [ 1; 2; 4; 8; 16 ]
 
 let cgra_needs = [ 0.5; 0.75; 0.875 ]
 
-let fig9 ?(seed = 0) ?(replicates = 3) ~size ~page_pes () =
+let fig9 ?(seed = 0) ?(replicates = 3) ?pool ~size ~page_pes () =
   match arch_for ~size ~page_pes with
   | Error _ as e -> e
   | Ok arch -> (
-      match Binary.compile_suite ~seed arch with
+      match Binary.compile_suite ~seed ?pool arch with
       | Error e -> Error e
       | Ok suite ->
           let total_pages = Cgra_arch.Cgra.n_pages arch in
-          let point cgra_need n_threads =
-            let one rep =
-              let threads =
-                Workload.generate
-                  ~seed:(seed + (1009 * rep) + (31 * n_threads))
-                  ~n_threads ~cgra_need ~suite ()
-              in
-              let run mode = Os_sim.run { suite; threads; total_pages; mode } in
-              let s = run Os_sim.Single and m = run Os_sim.Multi in
-              (Os_sim.improvement_percent ~single:s ~multi:m, s, m)
+          let one cgra_need n_threads rep =
+            let threads =
+              Workload.generate
+                ~seed:(seed + (1009 * rep) + (31 * n_threads))
+                ~n_threads ~cgra_need ~suite ()
             in
-            let runs = List.init replicates one in
+            let run mode = Os_sim.run { suite; threads; total_pages; mode } in
+            let s = run Os_sim.Single and m = run Os_sim.Multi in
+            (Os_sim.improvement_percent ~single:s ~multi:m, s, m)
+          in
+          (* the whole (cgra_need, n_threads, replicate) grid as one flat
+             task list; each task's seed depends only on its coordinates,
+             and regrouping below restores the sequential accumulation
+             order exactly *)
+          let tasks =
+            List.concat_map
+              (fun cgra_need ->
+                List.concat_map
+                  (fun n_threads ->
+                    List.init replicates (fun rep -> (cgra_need, n_threads, rep)))
+                  thread_counts)
+              cgra_needs
+          in
+          let results =
+            Array.of_list
+              (pmap pool (fun (need, n_threads, rep) -> one need n_threads rep) tasks)
+          in
+          let n_counts = List.length thread_counts in
+          let point need_i nt_i n_threads =
+            let runs =
+              List.init replicates (fun rep ->
+                  results.((((need_i * n_counts) + nt_i) * replicates) + rep))
+            in
             let mean f = Cgra_util.Stats.mean (List.map f runs) in
             {
               n_threads;
@@ -114,16 +148,23 @@ let fig9 ?(seed = 0) ?(replicates = 3) ~size ~page_pes () =
             }
           in
           let series =
-            List.map
-              (fun cgra_need ->
-                { cgra_need; points = List.map (point cgra_need) thread_counts })
+            List.mapi
+              (fun need_i cgra_need ->
+                {
+                  cgra_need;
+                  points =
+                    List.mapi
+                      (fun nt_i n_threads -> point need_i nt_i n_threads)
+                      thread_counts;
+                })
               cgra_needs
           in
           Ok { size; page_pes; series })
 
-let fig9_all ?(seed = 0) ?(replicates = 3) ~size () =
+let fig9_all ?(seed = 0) ?(replicates = 3) ?pool ~size () =
   List.filter_map
-    (fun page_pes -> Result.to_option (fig9 ~seed ~replicates ~size ~page_pes ()))
+    (fun page_pes ->
+      Result.to_option (fig9 ~seed ~replicates ?pool ~size ~page_pes ()))
     page_sizes
 
 let render_fig8 (f : fig8) =
@@ -164,43 +205,63 @@ let improvement_at ~suite ~total_pages ~seed ?policy ?reconfig_cost n_threads =
   ( Cgra_util.Stats.mean (List.map (fun (i, _) -> i) runs),
     List.fold_left (fun acc (_, t) -> acc + t) 0 runs )
 
-let ablation_reconfig_cost ?(seed = 0) ~size ~page_pes ~costs () =
+let ablation_reconfig_cost ?(seed = 0) ?pool ~size ~page_pes ~costs () =
   match arch_for ~size ~page_pes with
   | Error _ as e -> e
   | Ok arch -> (
-      match Binary.compile_suite ~seed arch with
+      match Binary.compile_suite ~seed ?pool arch with
       | Error e -> Error e
       | Ok suite ->
           let total_pages = Cgra_arch.Cgra.n_pages arch in
+          (* (cost, thread count) cells fan out; rows regroup in order *)
+          let cells =
+            pmap pool
+              (fun (cost, n_threads) ->
+                fst
+                  (improvement_at ~suite ~total_pages ~seed
+                     ~reconfig_cost:(float_of_int cost) n_threads))
+              (List.concat_map (fun c -> [ (c, 8); (c, 16) ]) costs)
+          in
+          let cells = Array.of_list cells in
           Ok
-            (List.map
-               (fun cost ->
-                 let rc = float_of_int cost in
-                 let i8, _ =
-                   improvement_at ~suite ~total_pages ~seed ~reconfig_cost:rc 8
-                 in
-                 let i16, _ =
-                   improvement_at ~suite ~total_pages ~seed ~reconfig_cost:rc 16
-                 in
+            (List.mapi
+               (fun i cost ->
                  {
                    label = Printf.sprintf "%d cycles/reshape" cost;
-                   metrics = [ ("T8 improvement %", i8); ("T16 improvement %", i16) ];
+                   metrics =
+                     [
+                       ("T8 improvement %", cells.(2 * i));
+                       ("T16 improvement %", cells.((2 * i) + 1));
+                     ];
                  })
                costs))
 
-let ablation_policy ?(seed = 0) ~size ~page_pes () =
+let ablation_policy ?(seed = 0) ?pool ~size ~page_pes () =
   match arch_for ~size ~page_pes with
   | Error _ as e -> e
   | Ok arch -> (
-      match Binary.compile_suite ~seed arch with
+      match Binary.compile_suite ~seed ?pool arch with
       | Error e -> Error e
       | Ok suite ->
           let total_pages = Cgra_arch.Cgra.n_pages arch in
+          let policies =
+            [
+              ("halving (paper)", Allocator.Halving);
+              ("equal repack", Allocator.Repack_equal);
+            ]
+          in
+          let cells =
+            pmap pool
+              (fun (policy, n_threads) ->
+                improvement_at ~suite ~total_pages ~seed ~policy n_threads)
+              (List.concat_map (fun (_, p) -> [ (p, 8); (p, 16) ]) policies)
+          in
+          let cells = Array.of_list cells in
           Ok
-            (List.map
-               (fun (label, policy) ->
-                 let i8, t8 = improvement_at ~suite ~total_pages ~seed ~policy 8 in
-                 let i16, t16 = improvement_at ~suite ~total_pages ~seed ~policy 16 in
+            (List.mapi
+               (fun i (label, _) ->
+                 let i8, t8 = cells.(2 * i) in
+                 let i16, t16 = cells.((2 * i) + 1) in
                  {
                    label;
                    metrics =
@@ -211,17 +272,14 @@ let ablation_policy ?(seed = 0) ~size ~page_pes () =
                        ("T16 reshapes", float_of_int t16);
                      ];
                  })
-               [
-                 ("halving (paper)", Allocator.Halving);
-                 ("equal repack", Allocator.Repack_equal);
-               ]))
+               policies))
 
-let ablation_mem_ports ?(seed = 0) ~size ~page_pes ~ports () =
+let ablation_mem_ports ?(seed = 0) ?pool ~size ~page_pes ~ports () =
   match Cgra_arch.Page.for_size (Cgra_arch.Grid.square size) page_pes with
   | None -> Error "unsupported configuration"
   | Some pages ->
       let rows =
-        List.filter_map
+        pfilter_map pool
           (fun p ->
             let arch = Cgra_arch.Cgra.make ~mem_ports_per_row:p pages in
             match Binary.compile_suite ~seed arch with

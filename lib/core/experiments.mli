@@ -11,7 +11,14 @@
 
     Both figures are returned as structured rows and rendered as aligned
     text tables by the bench harness; see EXPERIMENTS.md for the recorded
-    paper-vs-measured comparison. *)
+    paper-vs-measured comparison.
+
+    Every entry point takes an optional [?pool] ({!Cgra_util.Pool}): the
+    independent (CGRA-need, thread-count, replicate) tasks — each with
+    its own derived seed — then fan out across domains.  Results are
+    regrouped in sequential order, so output is {e byte-identical} at
+    any pool width; omitting [pool] keeps the historical sequential
+    path. *)
 
 type fig8_row = {
   kernel : string;
@@ -28,11 +35,13 @@ type fig8 = {
   geomean_pct : float;
 }
 
-val fig8 : ?seed:int -> size:int -> page_pes:int -> unit -> (fig8, string) result
+val fig8 :
+  ?seed:int -> ?pool:Cgra_util.Pool.t -> size:int -> page_pes:int -> unit ->
+  (fig8, string) result
 (** [Error] when the page size leaves fewer than two pages (the paper's
     own omission, e.g. 8-PE pages on 4x4) or a kernel fails to map. *)
 
-val fig8_all : ?seed:int -> size:int -> unit -> fig8 list
+val fig8_all : ?seed:int -> ?pool:Cgra_util.Pool.t -> size:int -> unit -> fig8 list
 (** The page sizes 2, 4, 8 that apply to this CGRA size — one Fig. 8
     sub-figure. *)
 
@@ -52,12 +61,14 @@ type fig9_series = { cgra_need : float; points : fig9_point list }
 type fig9 = { size : int; page_pes : int; series : fig9_series list }
 
 val fig9 :
-  ?seed:int -> ?replicates:int -> size:int -> page_pes:int -> unit ->
-  (fig9, string) result
+  ?seed:int -> ?replicates:int -> ?pool:Cgra_util.Pool.t -> size:int ->
+  page_pes:int -> unit -> (fig9, string) result
 (** Default 3 replicate workloads per point; thread counts 1, 2, 4, 8,
     16; CGRA needs 0.5, 0.75, 0.875. *)
 
-val fig9_all : ?seed:int -> ?replicates:int -> size:int -> unit -> fig9 list
+val fig9_all :
+  ?seed:int -> ?replicates:int -> ?pool:Cgra_util.Pool.t -> size:int -> unit ->
+  fig9 list
 
 val render_fig8 : fig8 -> string
 
@@ -78,20 +89,21 @@ val page_sizes : int list
 type ablation_row = { label : string; metrics : (string * float) list }
 
 val ablation_reconfig_cost :
-  ?seed:int -> size:int -> page_pes:int -> costs:int list -> unit ->
-  (ablation_row list, string) result
+  ?seed:int -> ?pool:Cgra_util.Pool.t -> size:int -> page_pes:int ->
+  costs:int list -> unit -> (ablation_row list, string) result
 (** Charge N cycles per PageMaster reshape (the paper assumes 0): where
     does the multithreading gain erode?  Metrics: improvement at 8 and
     16 threads, 87.5% CGRA need. *)
 
 val ablation_policy :
-  ?seed:int -> size:int -> page_pes:int -> unit -> (ablation_row list, string) result
+  ?seed:int -> ?pool:Cgra_util.Pool.t -> size:int -> page_pes:int -> unit ->
+  (ablation_row list, string) result
 (** The paper's halving policy vs. equal-share repacking.  Metrics:
     improvement and transformation counts at 8 and 16 threads. *)
 
 val ablation_mem_ports :
-  ?seed:int -> size:int -> page_pes:int -> ports:int list -> unit ->
-  (ablation_row list, string) result
+  ?seed:int -> ?pool:Cgra_util.Pool.t -> size:int -> page_pes:int ->
+  ports:int list -> unit -> (ablation_row list, string) result
 (** Row-bus width sensitivity of the {e compiler}: Fig. 8 geomean per
     ports-per-row value. *)
 

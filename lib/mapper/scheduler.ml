@@ -47,8 +47,8 @@ module Attempt = struct
     ordering : Memdep.t list;
         (* memory ordering constraints: timing-only edges *)
     placements : Mapping.placement option array;
-    occupied : (int * int, unit) Hashtbl.t;  (* (pe index, slot) *)
-    mem_use : (int * int, int) Hashtbl.t;  (* (row, slot) -> count *)
+    occupied : (int, unit) Hashtbl.t;  (* pe_index * ii + slot *)
+    mem_use : (int, int) Hashtbl.t;  (* row * ii + slot -> count *)
     mutable routes : Mapping.route list;
     mutable max_page_used : int;  (* -1 when none *)
   }
@@ -75,8 +75,15 @@ module Attempt = struct
 
   let slot t time = time mod t.ii
 
-  let base_free t pe time =
-    not (Hashtbl.mem t.occupied (Grid.index (grid t) pe, slot t time))
+  (* Packed single-int hashtable keys: with [slot < ii] the pair
+     (pe index, slot) packs bijectively into [pe_index * ii + slot], and
+     (row, slot) into [row * ii + slot] — no tuple allocation per probe
+     in the placement inner loop. *)
+  let occ_key t pe time = (Grid.index (grid t) pe * t.ii) + slot t time
+
+  let mem_key t pe time = (pe.Coord.row * t.ii) + slot t time
+
+  let base_free t pe time = not (Hashtbl.mem t.occupied (occ_key t pe time))
 
   let is_const t v =
     match (Graph.node t.graph v).op with Op.Const _ -> true | _ -> false
@@ -107,8 +114,7 @@ module Attempt = struct
       ~(consumer : Mapping.placement) =
     let read_time = consumer.time + (e.distance * t.ii) in
     let free pe time =
-      base_free t pe time
-      && not (Hashtbl.mem overlay (Grid.index (grid t) pe, slot t time))
+      base_free t pe time && not (Hashtbl.mem overlay (occ_key t pe time))
     in
     match t.kind with
     | Unconstrained ->
@@ -142,7 +148,7 @@ module Attempt = struct
     let add_overlay hops =
       List.iter
         (fun (h : Mapping.placement) ->
-          Hashtbl.replace overlay (Grid.index (grid t) h.pe, slot t h.time) ())
+          Hashtbl.replace overlay (occ_key t h.pe h.time) ())
         hops
     in
     let rec go acc = function
@@ -178,8 +184,7 @@ module Attempt = struct
   let mem_ok t v pe time =
     if not (Op.is_mem (Graph.node t.graph v).op) then true
     else
-      let key = (pe.Coord.row, slot t time) in
-      Option.value ~default:0 (Hashtbl.find_opt t.mem_use key)
+      Option.value ~default:0 (Hashtbl.find_opt t.mem_use (mem_key t pe time))
       < t.arch.Cgra.mem_ports_per_row
 
   let candidate_pes t =
@@ -239,9 +244,9 @@ module Attempt = struct
 
   let commit t v (cand : Mapping.placement) routes =
     t.placements.(v) <- Some cand;
-    Hashtbl.replace t.occupied (Grid.index (grid t) cand.pe, slot t cand.time) ();
+    Hashtbl.replace t.occupied (occ_key t cand.pe cand.time) ();
     if Op.is_mem (Graph.node t.graph v).op then begin
-      let key = (cand.pe.Coord.row, slot t cand.time) in
+      let key = mem_key t cand.pe cand.time in
       let n = Option.value ~default:0 (Hashtbl.find_opt t.mem_use key) in
       Hashtbl.replace t.mem_use key (n + 1)
     end;
@@ -249,7 +254,7 @@ module Attempt = struct
       (fun (r : Mapping.route) ->
         List.iter
           (fun (h : Mapping.placement) ->
-            Hashtbl.replace t.occupied (Grid.index (grid t) h.pe, slot t h.time) ())
+            Hashtbl.replace t.occupied (occ_key t h.pe h.time) ())
           r.hops;
         t.routes <- r :: t.routes)
       routes;

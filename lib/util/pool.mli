@@ -1,0 +1,63 @@
+(** A reusable fixed-size domain pool for deterministic data parallelism.
+
+    Every hot surface in this project — figure sweeps, ablation grids,
+    fuzz corpora — is a list of independent tasks, each reproducible from
+    an explicit seed.  This module fans such lists out across OCaml 5
+    domains while keeping the results {e exactly} what the sequential
+    code would produce:
+
+    - {b Order preservation}: [map]/[filter_map] return results in input
+      order, so downstream float accumulations (means, geomeans, stall
+      sums) see the same operand order and stay bit-identical.
+    - {b Exception propagation}: if tasks raise, the exception of the
+      {e earliest} failing input is re-raised in the caller (with its
+      backtrace) — the same exception a sequential run would surface.
+    - {b Sequential fallback}: a pool of width 1 (the default when
+      [CGRA_DOMAINS] is unset) runs tasks in place on the calling domain
+      and spawns nothing, so default behaviour is unchanged.
+
+    Tasks must be independent: they may share immutable data (compiled
+    suites, kernel graphs) but must not race on mutable state.  Nested
+    use of one pool is safe — the caller always participates in its own
+    batch, so an inner [map] issued from inside a task makes progress
+    even when every helper domain is busy. *)
+
+type t
+(** A pool: the calling domain plus [width - 1] parked helper domains. *)
+
+val env_var : string
+(** ["CGRA_DOMAINS"]. *)
+
+val domains_from_env : unit -> int
+(** Width requested by the [CGRA_DOMAINS] environment variable; [1] when
+    unset, unparsable, or non-positive. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] helper domains (none when
+    [domains <= 1]).  Default width: {!domains_from_env}. *)
+
+val width : t -> int
+(** Total domains working a batch, caller included. *)
+
+val shutdown : t -> unit
+(** Stop and join the helper domains.  Idempotent.  Outstanding batches
+    must have completed ([map] only returns once its batch has). *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Like [List.map], with the work spread across the pool.  Results are
+    in input order; see the determinism contract above. *)
+
+val filter_map : t -> ('a -> 'b option) -> 'a list -> 'b list
+(** Like [List.filter_map]; survivors keep their input order. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array counterpart of [map]. *)
+
+val parallel_map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [with_pool ?domains (fun p -> map p f xs)]. *)
+
+val parallel_filter_map : ?domains:int -> ('a -> 'b option) -> 'a list -> 'b list
+(** One-shot convenience for [filter_map]. *)

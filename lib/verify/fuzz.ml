@@ -14,17 +14,30 @@ type outcome = {
 
 let default_fabrics = [ (4, 4); (4, 2); (6, 8) ]
 
-let run ?(fabrics = default_fabrics) ?(iterations = 8) ~seeds () =
+(* What one seed's case contributes to the outcome.  Cases touch only
+   their own counters, so they can run on any domain; the caller sums
+   the records in seed order, which keeps counts and failure reports
+   identical at any pool width. *)
+type stats = {
+  s_mapped : int;
+  s_folds : int;
+  s_nonzero : int;
+  s_refolds : int;
+  s_oracle_runs : int;
+  s_failures : string list;  (* in discovery order *)
+}
+
+let run ?(fabrics = default_fabrics) ?(iterations = 8) ?pool ~seeds () =
   if fabrics = [] then invalid_arg "Fuzz.run: no fabrics";
   if iterations < 1 then invalid_arg "Fuzz.run: iterations < 1";
   let fabrics = Array.of_list fabrics in
-  let mapped = ref 0 in
-  let folds = ref 0 in
-  let nonzero = ref 0 in
-  let refolds = ref 0 in
-  let oracle_runs = ref 0 in
-  let failures = ref [] in
   let one_case seed =
+    let mapped = ref 0 in
+    let folds = ref 0 in
+    let nonzero = ref 0 in
+    let refolds = ref 0 in
+    let oracle_runs = ref 0 in
+    let failures = ref [] in
     let rng = Cgra_util.Rng.create ~seed in
     let size, page_pes = Cgra_util.Rng.choose rng fabrics in
     let fail fmt =
@@ -44,7 +57,7 @@ let run ?(fabrics = default_fabrics) ?(iterations = 8) ~seeds () =
       }
     in
     let g = Cgra_kernels.Synthetic.generate ~seed cfg in
-    match Scheduler.map ~seed Scheduler.Paged arch g with
+    (match Scheduler.map ~seed Scheduler.Paged arch g with
     | Error _ -> () (* a capacity miss, not an invariant failure *)
     | Ok m -> (
         incr mapped;
@@ -110,18 +123,42 @@ let run ?(fabrics = default_fabrics) ?(iterations = 8) ~seeds () =
                     verify_and_simulate
                       ~what:(Printf.sprintf "refold from base %d" b)
                       ~check_mem:false sh2.Transform.mapping)
-        end)
+        end));
+    {
+      s_mapped = !mapped;
+      s_folds = !folds;
+      s_nonzero = !nonzero;
+      s_refolds = !refolds;
+      s_oracle_runs = !oracle_runs;
+      s_failures = List.rev !failures;
+    }
   in
-  List.iter one_case seeds;
-  {
-    cases = List.length seeds;
-    mapped = !mapped;
-    folds = !folds;
-    nonzero_base_folds = !nonzero;
-    refolds = !refolds;
-    oracle_runs = !oracle_runs;
-    failures = List.rev !failures;
-  }
+  let cases =
+    match pool with
+    | Some p -> Cgra_util.Pool.map p one_case seeds
+    | None -> List.map one_case seeds
+  in
+  List.fold_left
+    (fun acc c ->
+      {
+        acc with
+        mapped = acc.mapped + c.s_mapped;
+        folds = acc.folds + c.s_folds;
+        nonzero_base_folds = acc.nonzero_base_folds + c.s_nonzero;
+        refolds = acc.refolds + c.s_refolds;
+        oracle_runs = acc.oracle_runs + c.s_oracle_runs;
+        failures = acc.failures @ c.s_failures;
+      })
+    {
+      cases = List.length seeds;
+      mapped = 0;
+      folds = 0;
+      nonzero_base_folds = 0;
+      refolds = 0;
+      oracle_runs = 0;
+      failures = [];
+    }
+    cases
 
 let pp_outcome ppf o =
   Format.fprintf ppf

@@ -35,10 +35,13 @@ val default_fabrics : (int * int) list
 val run :
   ?fabrics:(int * int) list ->
   ?iterations:int ->
+  ?pool:Cgra_util.Pool.t ->
   seeds:int list ->
   unit ->
   outcome
 (** Run the corpus.  [iterations] (default 8) is the oracle-comparison
-    depth per simulation. *)
+    depth per simulation.  With [pool], the per-seed cases fan out
+    across its domains; counters and failures are aggregated in seed
+    order, so the outcome is identical at any pool width. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -191,33 +191,29 @@ type outcome = {
 
 let default_fabrics = [ (4, 4); (4, 2) ]
 
-let run ?(fabrics = default_fabrics) ~seeds () =
+let run ?(fabrics = default_fabrics) ?pool ~seeds () =
   if fabrics = [] then invalid_arg "Os_fuzz.run: no fabrics";
-  let suites =
-    List.map
-      (fun (size, page_pes) ->
-        ( (size, page_pes),
-          lazy
-            (let arch =
-               Option.get (Cgra_arch.Cgra.standard ~size ~page_pes)
-             in
-             match Binary.compile_suite ~seed:1 arch with
-             | Ok suite -> (suite, Cgra_arch.Cgra.n_pages arch)
-             | Error e ->
-                 failwith
-                   (Printf.sprintf "Os_fuzz: %dx%d p%d suite failed: %s" size
-                      size page_pes e)) ))
-      fabrics
+  (* suites come from Binary's memoized compile cache (safe to share
+     across domains): each fabric compiles once, whichever case asks
+     first *)
+  let suite_for (size, page_pes) =
+    let arch = Option.get (Cgra_arch.Cgra.standard ~size ~page_pes) in
+    match Binary.compile_suite ~seed:1 arch with
+    | Ok suite -> (suite, Cgra_arch.Cgra.n_pages arch)
+    | Error e ->
+        failwith
+          (Printf.sprintf "Os_fuzz: %dx%d p%d suite failed: %s" size size
+             page_pes e)
   in
-  let runs = ref 0 in
-  let events = ref 0 in
-  let failures = ref [] in
   let one_case seed =
+    let runs = ref 0 in
+    let events = ref 0 in
+    let failures = ref [] in
     let rng = Cgra_util.Rng.create ~seed in
     let ((size, page_pes) as fabric) =
       Cgra_util.Rng.choose rng (Array.of_list fabrics)
     in
-    let suite, total_pages = Lazy.force (List.assoc fabric suites) in
+    let suite, total_pages = suite_for fabric in
     let n_threads = Cgra_util.Rng.int_in rng 2 9 in
     let need = Cgra_util.Rng.choose rng [| 0.5; 0.75; 0.875 |] in
     let policy =
@@ -248,15 +244,25 @@ let run ?(fabrics = default_fabrics) ~seeds () =
                 reconfig_cost n_threads e
               :: !failures)
           errs)
-      [ Os_sim.Single; Os_sim.Multi ]
+      [ Os_sim.Single; Os_sim.Multi ];
+    (!runs, !events, List.rev !failures)
   in
-  List.iter one_case seeds;
-  {
-    cases = List.length seeds;
-    runs = !runs;
-    events = !events;
-    failures = List.rev !failures;
-  }
+  let cases =
+    match pool with
+    | Some p -> Cgra_util.Pool.map p one_case seeds
+    | None -> List.map one_case seeds
+  in
+  (* aggregated in seed order: identical at any pool width *)
+  List.fold_left
+    (fun acc (r, e, fs) ->
+      {
+        acc with
+        runs = acc.runs + r;
+        events = acc.events + e;
+        failures = acc.failures @ fs;
+      })
+    { cases = List.length seeds; runs = 0; events = 0; failures = [] }
+    cases
 
 let pp_outcome ppf o =
   Format.fprintf ppf "@[<v>%d cases, %d traced runs, %d events monitored@,%s@]"

@@ -56,9 +56,17 @@ val default_fabrics : (int * int) list
 (** [(size, page_pes)] choices: [(4, 4); (4, 2)] — the contended fabrics
     where stalls, halving, and repacking actually happen. *)
 
-val run : ?fabrics:(int * int) list -> seeds:int list -> unit -> outcome
+val run :
+  ?fabrics:(int * int) list ->
+  ?pool:Cgra_util.Pool.t ->
+  seeds:int list ->
+  unit ->
+  outcome
 (** Each seed picks a fabric, a thread count in [2..9], a CGRA-need
     level, a policy, and a reconfiguration cost, then checks both Single
-    and Multi modes.  Suites are compiled once per fabric. *)
+    and Multi modes.  Suites are compiled once per fabric (through the
+    {!Cgra_core.Binary} compile cache).  With [pool], cases fan out
+    across its domains; counters and failures aggregate in seed order,
+    so the outcome is identical at any pool width. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

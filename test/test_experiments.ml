@@ -157,6 +157,17 @@ let test_fig9_deterministic () =
   let b = Result.get_ok (Experiments.fig9 ~replicates:1 ~size:4 ~page_pes:4 ()) in
   Alcotest.(check bool) "same series" true (a.series = b.series)
 
+let test_fig9_parallel_identical () =
+  (* the tentpole determinism contract: the full fig9 grid rendered at 1
+     domain and at 4 domains must be byte-identical *)
+  let render pool =
+    Experiments.render_fig9
+      (Result.get_ok (Experiments.fig9 ~replicates:2 ?pool ~size:4 ~page_pes:4 ()))
+  in
+  let sequential = render None in
+  Cgra_util.Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check string) "1 vs 4 domains" sequential (render (Some pool)))
+
 let test_fig9_render () =
   let s = Experiments.render_fig9 (Lazy.force fig9_4x4) in
   Alcotest.(check bool) "has header" true (String.length s > 100)
@@ -243,6 +254,8 @@ let () =
           Alcotest.test_case "transformations happen" `Quick
             test_fig9_transformations_happen;
           Alcotest.test_case "deterministic" `Quick test_fig9_deterministic;
+          Alcotest.test_case "parallel identical to sequential" `Quick
+            test_fig9_parallel_identical;
           Alcotest.test_case "render" `Quick test_fig9_render;
         ] );
       ("constants", [ Alcotest.test_case "sizes" `Quick test_constants ]);

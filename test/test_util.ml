@@ -188,6 +188,72 @@ let test_stats_ratio () =
   check_float "ratio" 50.0 (Stats.ratio_percent 1.0 2.0);
   check_float "zero denominator" 0.0 (Stats.ratio_percent 1.0 0.0)
 
+(* ---------- Pool ---------- *)
+
+let test_pool_order_preserved () =
+  let xs = List.init 200 Fun.id in
+  let f x = (x * x) + 7 in
+  Alcotest.(check (list int))
+    "parallel = sequential, in order" (List.map f xs)
+    (Pool.parallel_map ~domains:4 f xs)
+
+let test_pool_domains1_is_sequential () =
+  let xs = List.init 50 Fun.id in
+  let calls = ref [] in
+  let f x =
+    calls := x :: !calls;
+    x * 2
+  in
+  let out = Pool.parallel_map ~domains:1 f xs in
+  Alcotest.(check (list int)) "results" (List.map (fun x -> x * 2) xs) out;
+  Alcotest.(check (list int)) "called in input order, on this domain" xs
+    (List.rev !calls)
+
+let test_pool_exception_propagates () =
+  let f x = if x >= 50 then failwith (string_of_int x) else x in
+  List.iter
+    (fun domains ->
+      match Pool.parallel_map ~domains f (List.init 100 Fun.id) with
+      | _ -> Alcotest.failf "no exception at %d domains" domains
+      | exception Failure msg ->
+          Alcotest.(check string)
+            (Printf.sprintf "earliest failure wins at %d domains" domains)
+            "50" msg)
+    [ 1; 4 ]
+
+let test_pool_filter_map () =
+  let xs = List.init 100 Fun.id in
+  let f x = if x mod 3 = 0 then Some (x * 10) else None in
+  Alcotest.(check (list int))
+    "survivors keep input order" (List.filter_map f xs)
+    (Pool.parallel_filter_map ~domains:4 f xs)
+
+let test_pool_reusable () =
+  Pool.with_pool ~domains:3 (fun p ->
+      Alcotest.(check int) "width" 3 (Pool.width p);
+      let xs = List.init 64 Fun.id in
+      Alcotest.(check (list int)) "first batch" (List.map succ xs)
+        (Pool.map p succ xs);
+      Alcotest.(check (list int))
+        "second batch on the same pool"
+        (List.map (fun x -> x - 1) xs)
+        (Pool.map p (fun x -> x - 1) xs);
+      (* nested use: a task fans out on the pool it is running on *)
+      let nested =
+        Pool.map p (fun x -> List.fold_left ( + ) 0 (Pool.map p (( * ) x) [ 1; 2; 3 ])) xs
+      in
+      Alcotest.(check (list int)) "nested batches" (List.map (fun x -> 6 * x) xs)
+        nested)
+
+let test_pool_shutdown_idempotent () =
+  let p = Pool.create ~domains:2 () in
+  Alcotest.(check (list int)) "map" [ 2; 4 ] (Pool.map p (( * ) 2) [ 1; 2 ]);
+  Pool.shutdown p;
+  Pool.shutdown p
+
+let test_pool_env_default () =
+  Alcotest.(check bool) "width >= 1" true (Pool.domains_from_env () >= 1)
+
 (* ---------- Table ---------- *)
 
 let test_table_render () =
@@ -243,6 +309,19 @@ let () =
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "improvement" `Quick test_stats_improvement;
           Alcotest.test_case "ratio" `Quick test_stats_ratio;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "order preserved" `Quick test_pool_order_preserved;
+          Alcotest.test_case "domains=1 sequential" `Quick
+            test_pool_domains1_is_sequential;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "filter_map" `Quick test_pool_filter_map;
+          Alcotest.test_case "reusable + nested" `Quick test_pool_reusable;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+          Alcotest.test_case "env default" `Quick test_pool_env_default;
         ] );
       ( "table",
         [
