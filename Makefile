@@ -32,7 +32,7 @@ bench-json:
 # indexing bugs, two orders of magnitude deeper than the @smoke run.
 fuzz-deep:
 	dune build bin/cgra_tool.exe
-	CGRA_DOMAINS=$$(nproc) dune exec bin/cgra_tool.exe -- verify --fuzz 10000
+	CGRA_DOMAINS=$$(nproc) dune exec bin/cgra_tool.exe -- verify --fuzz 10000 --meld-fuzz 10000
 
 clean:
 	dune clean

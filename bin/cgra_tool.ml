@@ -439,28 +439,45 @@ let cmd_encode =
 (* ----- verify ----- *)
 
 let cmd_verify =
-  let run kernel size page_pes seed paged fold_sweep fuzz iterations domains =
-    match fuzz with
-    | Some n ->
-        if n < 0 then or_die (Error "--fuzz needs a non-negative seed count");
-        let seeds = List.init n (fun i -> seed + i) in
+  let run kernel size page_pes seed paged fold_sweep fuzz meld_fuzz iterations
+      domains =
+    match (fuzz, meld_fuzz) with
+    | Some _, _ | _, Some _ ->
         Cgra_util.Pool.with_pool ?domains (fun pool ->
             if Cgra_util.Pool.width pool > 1 then
               Printf.printf "fuzzing across %d domains\n"
                 (Cgra_util.Pool.width pool);
-            let o = Cgra_verify.Fuzz.run ~iterations ~pool ~seeds () in
-            Format.printf "%a@." Cgra_verify.Fuzz.pp_outcome o;
-            let os = Cgra_verify.Os_fuzz.run ~pool ~seeds () in
-            Format.printf "%a@." Cgra_verify.Os_fuzz.pp_outcome os;
-            if
-              o.Cgra_verify.Fuzz.failures <> []
-              || os.Cgra_verify.Os_fuzz.failures <> []
-            then exit 1)
-    | None ->
+            let failed = ref false in
+            (match fuzz with
+            | None -> ()
+            | Some n ->
+                if n < 0 then
+                  or_die (Error "--fuzz needs a non-negative seed count");
+                let seeds = List.init n (fun i -> seed + i) in
+                let o = Cgra_verify.Fuzz.run ~iterations ~pool ~seeds () in
+                Format.printf "%a@." Cgra_verify.Fuzz.pp_outcome o;
+                let os = Cgra_verify.Os_fuzz.run ~pool ~seeds () in
+                Format.printf "%a@." Cgra_verify.Os_fuzz.pp_outcome os;
+                if
+                  o.Cgra_verify.Fuzz.failures <> []
+                  || os.Cgra_verify.Os_fuzz.failures <> []
+                then failed := true);
+            (match meld_fuzz with
+            | None -> ()
+            | Some n ->
+                if n < 0 then
+                  or_die (Error "--meld-fuzz needs a non-negative seed count");
+                let seeds = List.init n (fun i -> seed + i) in
+                let o = Cgra_verify.Meld_fuzz.run ~pool ~seeds () in
+                Format.printf "%a@." Cgra_verify.Meld_fuzz.pp_outcome o;
+                if o.Cgra_verify.Meld_fuzz.failures <> [] then failed := true);
+            if !failed then exit 1)
+    | None, None ->
         let kernel =
           match kernel with
           | Some k -> k
-          | None -> or_die (Error "verify needs --kernel (or --fuzz N)")
+          | None ->
+              or_die (Error "verify needs --kernel (or --fuzz N / --meld-fuzz N)")
         in
         let arch = or_die (arch_of ~size ~page_pes) in
         let k = or_die (kernel_of kernel) in
@@ -530,15 +547,26 @@ let cmd_verify =
             "Run the property-based fuzz harness over N seeds (starting at --seed) \
              instead of verifying one kernel.")
   in
+  let meld_fuzz =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "meld-fuzz" ] ~docv:"N"
+          ~doc:
+            "Run the co-residency fuzz harness over N seeds (starting at --seed): \
+             random melded resident sets checked differentially by the runtime's \
+             Coexec.check and the independent Meld checker.")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Check the paper's mapping invariants mechanically: one kernel's mapping \
-          (optionally across the whole fold sweep), or a randomized \
-          compile-fold-execute fuzz corpus.")
+          (optionally across the whole fold sweep), a randomized \
+          compile-fold-execute fuzz corpus, or a differential co-residency fuzz \
+          corpus over melded resident sets.")
     Term.(
       const run $ kernel $ size_arg $ page_arg $ seed_arg $ paged $ fold_sweep $ fuzz
-      $ iters_arg $ domains_arg)
+      $ meld_fuzz $ iters_arg $ domains_arg)
 
 (* ----- dot ----- *)
 

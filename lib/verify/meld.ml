@@ -1,0 +1,247 @@
+open Cgra_arch
+open Cgra_mapper
+
+type rule =
+  | Residents
+  | Disjoint
+  | Page_range
+  | Bus_capacity
+  | Resident_legal
+
+let rule_name = function
+  | Residents -> "residents"
+  | Disjoint -> "disjoint"
+  | Page_range -> "page-range"
+  | Bus_capacity -> "bus-capacity"
+  | Resident_legal -> "resident-legal"
+
+type violation = { rule : rule; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "%s: %s" (rule_name v.rule) v.detail
+
+type resident = {
+  id : int;
+  mapping : Mapping.t;
+  grant : Cgra_core.Allocator.range option;
+  exact : bool;
+}
+
+let resident ?grant ?(exact = false) ~id mapping = { id; mapping; grant; exact }
+
+let of_shrunk ?grant ~id (sh : Cgra_core.Transform.shrunk) =
+  { id; mapping = sh.mapping; grant; exact = sh.pe_exact }
+
+type report = {
+  residents : int;
+  hyperperiod : int;
+  ipc : float;
+  utilization : float;
+}
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let hyperperiod mappings =
+  List.fold_left
+    (fun acc (m : Mapping.t) -> acc / gcd acc m.ii * m.ii)
+    1 mappings
+
+(* Every PE a resident touches, recomputed from the raw mapping record
+   (placements array plus route hops) rather than through any shared
+   occupancy helper, so a bug there cannot hide from this checker. *)
+let touched_pes (m : Mapping.t) =
+  let acc = ref [] in
+  Array.iter
+    (fun pl ->
+      match pl with
+      | Some (p : Mapping.placement) -> acc := p.pe :: !acc
+      | None -> ())
+    m.placements;
+  List.iter
+    (fun (r : Mapping.route) ->
+      List.iter (fun (h : Mapping.placement) -> acc := h.pe :: !acc) r.hops)
+    m.routes;
+  List.rev !acc
+
+let check ?(check_mem = true) ?(trace = Cgra_trace.Trace.null) residents =
+  let module T = Cgra_trace.Trace in
+  T.with_span trace "meld.check" @@ fun () ->
+  let out = ref [] in
+  let err rule fmt =
+    Printf.ksprintf (fun detail -> out := { rule; detail } :: !out) fmt
+  in
+  (match residents with
+  | [] -> err Residents "no residents"
+  | r0 :: rest ->
+      let arch = r0.mapping.Mapping.arch in
+      List.iter
+        (fun r ->
+          if r.mapping.Mapping.arch <> arch then
+            err Residents "resident %d targets a different fabric than resident %d"
+              r.id r0.id)
+        rest;
+      (* ----- spatial disjointness ----- *)
+      (* keyed by coordinate, not grid index, so out-of-bounds placements
+         cannot alias an in-bounds PE *)
+      let owner : (Coord.t, int) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun pe ->
+              match Hashtbl.find_opt owner pe with
+              | Some other when other <> r.id ->
+                  err Disjoint "residents %d and %d both occupy PE %s" other r.id
+                    (Coord.to_string pe)
+              | Some _ | None -> Hashtbl.replace owner pe r.id)
+            (touched_pes r.mapping))
+        residents;
+      (* ----- page ranges vs allocator grants ----- *)
+      let pages = arch.Cgra.pages in
+      let n_pages = Page.n_pages pages in
+      let grants =
+        List.filter_map
+          (fun r -> Option.map (fun g -> (r.id, g)) r.grant)
+          residents
+        |> List.sort (fun (_, (a : Cgra_core.Allocator.range)) (_, b) ->
+               compare a.base b.base)
+      in
+      List.iter
+        (fun (id, (g : Cgra_core.Allocator.range)) ->
+          if g.len < 1 || g.base < 0 || g.base + g.len > n_pages then
+            err Page_range "resident %d claims out-of-bounds grant [%d+%d] on %d pages"
+              id g.base g.len n_pages)
+        grants;
+      let rec overlaps = function
+        | (id1, (g1 : Cgra_core.Allocator.range))
+          :: ((id2, (g2 : Cgra_core.Allocator.range)) :: _ as rest) ->
+            if g1.base + g1.len > g2.base then
+              err Page_range "grants of residents %d [%d+%d] and %d [%d+%d] overlap"
+                id1 g1.base g1.len id2 g2.base g2.len;
+            overlaps rest
+        | [ _ ] | [] -> ()
+      in
+      overlaps grants;
+      List.iter
+        (fun r ->
+          let used =
+            touched_pes r.mapping
+            |> List.filter_map (fun pe -> Page.page_of_pe pages pe)
+            |> List.sort_uniq compare
+          in
+          (match used with
+          | [] -> ()
+          | first :: _ ->
+              List.iteri
+                (fun i pg ->
+                  if pg <> first + i then
+                    err Page_range
+                      "resident %d occupies non-contiguous pages (page %d at rank %d \
+                       after base %d)"
+                      r.id pg i first)
+                used);
+          match (r.grant, used) with
+          | Some g, _ :: _ ->
+              let lo = List.hd used and hi = List.nth used (List.length used - 1) in
+              if lo < g.base || hi >= g.base + g.len then
+                err Page_range
+                  "resident %d occupies pages [%d..%d] outside its grant [%d+%d]" r.id
+                  lo hi g.base g.len
+          | Some _, [] | None, _ -> ())
+        residents;
+      (* ----- shared row buses, walked cycle by cycle ----- *)
+      if check_mem then begin
+        let hp = hyperperiod (List.map (fun r -> r.mapping) residents) in
+        let rows = arch.Cgra.grid.Grid.rows in
+        (* per resident: memory issues per (row, modulo slot) *)
+        let profiles =
+          List.map
+            (fun r ->
+              let m = r.mapping in
+              let slots = Array.make_matrix rows m.ii 0 in
+              Array.iteri
+                (fun v pl ->
+                  match pl with
+                  | Some (p : Mapping.placement)
+                    when Cgra_dfg.Op.is_mem (Cgra_dfg.Graph.node m.graph v).op ->
+                      let row = p.pe.Coord.row in
+                      if row >= 0 && row < rows then
+                        slots.(row).(p.time mod m.ii) <-
+                          slots.(row).(p.time mod m.ii) + 1
+                  | Some _ | None -> ())
+                m.placements;
+              (m.ii, slots))
+            residents
+        in
+        for c = 0 to hp - 1 do
+          for row = 0 to rows - 1 do
+            let issued =
+              List.fold_left
+                (fun acc (ii, slots) -> acc + slots.(row).(c mod ii))
+                0 profiles
+            in
+            if issued > arch.Cgra.mem_ports_per_row then
+              err Bus_capacity
+                "row %d cycle %d of hyperperiod %d: %d memory ops on a %d-port bus"
+                row c hp issued arch.Cgra.mem_ports_per_row
+          done
+        done
+      end;
+      (* ----- each exact resident is a legal mapping on its own ----- *)
+      List.iter
+        (fun r ->
+          if r.exact then
+            List.iter
+              (fun (v : Verify.violation) ->
+                err Resident_legal "resident %d: %s: %s" r.id
+                  (Verify.rule_name v.rule) v.detail)
+              (Verify.check ~check_mem:false r.mapping))
+        residents);
+  match List.rev !out with
+  | [] ->
+      let mappings = List.map (fun r -> r.mapping) residents in
+      let ops_of (m : Mapping.t) =
+        Array.fold_left
+          (fun acc pl -> match pl with Some _ -> acc + 1 | None -> acc)
+          0 m.placements
+      in
+      (* same fold order and per-term arithmetic as the runtime's own
+         report, so agreement can be checked with exact float equality *)
+      let ipc =
+        List.fold_left
+          (fun acc (m : Mapping.t) ->
+            acc +. (float_of_int (ops_of m) /. float_of_int m.ii))
+          0.0 mappings
+      in
+      let arch = (List.hd mappings).Mapping.arch in
+      let report =
+        {
+          residents = List.length residents;
+          hyperperiod = hyperperiod mappings;
+          ipc;
+          utilization = ipc /. float_of_int (Cgra.pe_count arch);
+        }
+      in
+      if T.enabled trace then begin
+        T.emit trace
+          (T.Counter
+             { name = "meld.residents"; value = float_of_int report.residents });
+        T.emit trace
+          (T.Counter
+             { name = "meld.hyperperiod"; value = float_of_int report.hyperperiod });
+        T.emit trace (T.Counter { name = "meld.ipc"; value = report.ipc });
+        T.emit trace
+          (T.Counter { name = "meld.utilization"; value = report.utilization })
+      end;
+      Ok report
+  | vs ->
+      if T.enabled trace then
+        List.iter
+          (fun v ->
+            T.emit trace
+              (T.Mark
+                 { name = "meld.violation";
+                   detail = Format.asprintf "%a" pp_violation v }))
+          vs;
+      Error vs
+
+let check_mappings ?check_mem ?trace mappings =
+  check ?check_mem ?trace (List.mapi (fun i m -> resident ~id:i m) mappings)

@@ -1,0 +1,96 @@
+(** Independent checker for the co-residency invariants of melded
+    schedules (Section V of the paper).
+
+    [Cgra_sim.Coexec.check] is the {e runtime's} own legality filter for
+    resident sets; this module is an independent re-implementation of the
+    same invariants from the paper's statement of them, in the mould of
+    {!Verify} for single mappings, so the runtime and the checker can be
+    fuzzed differentially ({!Meld_fuzz}) and neither can silently drift.
+
+    Rules checked:
+
+    - {b Residents}: the set is non-empty and every resident targets the
+      same fabric as the first.
+    - {b Disjoint}: no PE is occupied (by an operation or a routing hop)
+      by two residents.  Residents run different IIs, so any shared PE
+      eventually collides regardless of modulo slot.
+    - {b Page_range}: each resident's occupied pages form one contiguous
+      run of the ring order; when the resident carries the allocator
+      grant it was folded into, its pages stay inside that grant, and the
+      grants themselves are in bounds and pairwise disjoint.
+    - {b Bus_capacity}: walking every cycle of the lcm-of-IIs
+      hyperperiod, the memory operations the residents issue on each
+      row's shared bus never exceed [mem_ports_per_row].  (The walk is
+      cycle-major — a deliberately different algorithm from [Coexec]'s
+      op-major marking.)
+    - {b Resident_legal}: every PE-exact resident passes the
+      single-mapping checker ({!Verify.check}, without the per-mapping
+      memory-port rule — bus pressure is checked across residents by
+      {b Bus_capacity}). *)
+
+type rule =
+  | Residents
+  | Disjoint
+  | Page_range
+  | Bus_capacity
+  | Resident_legal
+
+val rule_name : rule -> string
+
+type violation = { rule : rule; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type resident = {
+  id : int;  (** allocator client id (or list position) *)
+  mapping : Cgra_mapper.Mapping.t;
+  grant : Cgra_core.Allocator.range option;
+      (** the page range the allocator handed this resident, if known *)
+  exact : bool;
+      (** PE coordinates are physical ([Transform.shrunk.pe_exact]);
+          enables the {b Resident_legal} rule for this resident *)
+}
+
+val resident :
+  ?grant:Cgra_core.Allocator.range -> ?exact:bool -> id:int ->
+  Cgra_mapper.Mapping.t -> resident
+(** [exact] defaults to [false]. *)
+
+val of_shrunk :
+  ?grant:Cgra_core.Allocator.range -> id:int -> Cgra_core.Transform.shrunk ->
+  resident
+(** A resident from a PageMaster fold result; [exact] comes from
+    [pe_exact]. *)
+
+type report = {
+  residents : int;
+  hyperperiod : int;  (** lcm of the residents' IIs *)
+  ipc : float;  (** aggregate ops per cycle *)
+  utilization : float;  (** aggregate PE utilization *)
+}
+
+val hyperperiod : Cgra_mapper.Mapping.t list -> int
+(** lcm of the IIs (1 for the empty list). *)
+
+val check :
+  ?check_mem:bool ->
+  ?trace:Cgra_trace.Trace.t ->
+  resident list ->
+  (report, violation list) result
+(** All violations found, or the independently recomputed report.
+    [check_mem] (default [true]) controls the {b Bus_capacity} rule,
+    mirroring [Coexec.check].
+
+    When [trace] is live the check runs inside a [meld.check] span; every
+    violation is emitted as a [meld.violation] mark and an accepted set
+    lands as [meld.*] counter events, mirroring the [coexec.*]
+    vocabulary. *)
+
+val check_mappings :
+  ?check_mem:bool ->
+  ?trace:Cgra_trace.Trace.t ->
+  Cgra_mapper.Mapping.t list ->
+  (report, violation list) result
+(** [check] over bare mappings (ids by list position, no grants, no
+    per-resident checking) — the exact surface [Coexec.check] offers,
+    for differential comparison. *)

@@ -1,0 +1,50 @@
+(** Differential fuzzing of co-residency checking: the runtime's own
+    filter ([Cgra_sim.Coexec.check]) against the independent checker
+    ({!Meld.check}), over randomized melded resident sets.
+
+    Each seed drives one deterministic case through {!Cgra_util.Rng}:
+    pick a fabric, draw 1–4 random kernels from the suite (compiled once
+    per fabric through [Binary]'s memoized cache), push them through a
+    random allocator grant/release churn (random policy, random release
+    and re-request orders), fold each survivor into its granted range
+    with the PageMaster transformation, and then
+
+    - run [Coexec.check] (under a live trace) and {!Meld.check} on the
+      same resident set and require accept/reject agreement — and, on
+      accept, an identical report (exact float equality: both checkers
+      fold the same per-resident terms in the same order);
+    - cross-check the emitted [coexec.*] trace events against the
+      outcome: the check span is present, an accepted set's counters
+      reproduce the report exactly, and a rejected set emits one
+      [coexec.violation] mark per error, in order;
+    - inject mutants: a duplicated resident (both checkers must reject;
+      {!Meld} must name {b Disjoint}), a resident claiming a shifted
+      allocator grant ({!Meld} must name {b Page_range}), and a resident
+      compiled for a different fabric (both must reject; {!Meld} must
+      name {b Residents}).
+
+    Everything is reproducible from the seed list; with a pool, cases
+    fan out across domains and are aggregated in seed order, so the
+    outcome is identical at any width. *)
+
+type outcome = {
+  cases : int;  (** seeds attempted *)
+  sets : int;  (** resident sets checked differentially *)
+  residents : int;  (** residents across all non-mutant sets *)
+  accepts : int;  (** sets both checkers accepted (reports compared) *)
+  rejects : int;  (** sets both checkers rejected *)
+  mutants : int;  (** corrupted sets injected and rejected *)
+  failures : string list;  (** human-readable, with seed context; [] = pass *)
+}
+
+val default_fabrics : (int * int) list
+(** [(size, page_pes)] choices: [(4, 2); (6, 4); (8, 4)]. *)
+
+val run :
+  ?fabrics:(int * int) list ->
+  ?pool:Cgra_util.Pool.t ->
+  seeds:int list ->
+  unit ->
+  outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -115,6 +115,64 @@ let test_bus_check_over_hyperperiod () =
   | Ok _ -> ()
   | Error es -> Alcotest.failf "check_mem:false should pass: %s" (List.hd es)
 
+let has_substring sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_mixed_fabrics_rejected () =
+  (* residents compiled for different fabrics can never be melded *)
+  let m4 = map_ok (arch 4 4) "gsr" in
+  let m8 = map_ok (arch 8 4) "gsr" in
+  match Cgra_sim.Coexec.check ~check_mem:false [ m4; m8 ] with
+  | Error es ->
+      Alcotest.(check bool) "names the fabric mismatch" true
+        (List.exists (has_substring "different fabrics") es)
+  | Ok _ -> Alcotest.fail "mixed fabrics must be rejected"
+
+let test_single_resident () =
+  (* a one-element set degenerates to the plain single-mapping case:
+     accepted, with the hyperperiod equal to the resident's own II *)
+  let a = arch 8 4 in
+  let m = map_ok a "sor" in
+  match Cgra_sim.Coexec.check ~check_mem:false [ m ] with
+  | Ok rep ->
+      Alcotest.(check int) "one resident" 1 rep.residents;
+      Alcotest.(check int) "hyperperiod is its own II" m.Mapping.ii rep.hyperperiod
+  | Error es -> Alcotest.failf "single resident rejected: %s" (List.hd es)
+
+let test_bus_collision_only_at_hyperperiod () =
+  (* IIs 2 and 3, slots 0 and 2: neither resident alone saturates the
+     bus and their slots never align within either II, yet at cycle 2 of
+     the 6-cycle hyperperiod both issue on row 0 of a 1-port bus *)
+  let pages = Page.rect (Grid.square 4) ~tile_rows:2 ~tile_cols:2 in
+  let a = Cgra.make ~mem_ports_per_row:1 pages in
+  let g =
+    Cgra_dfg.Graph.create ~name:"ld"
+      ~ops:[ Cgra_dfg.Op.Load { array = "x"; offset = 0; stride = 1 } ]
+      ~edges:[]
+  in
+  let mk ~ii ~col ~time =
+    {
+      Mapping.arch = a;
+      graph = g;
+      ii;
+      placements = [| Some { Mapping.pe = Coord.make ~row:0 ~col; time } |];
+      routes = [];
+      paged = false;
+    }
+  in
+  let m1 = mk ~ii:2 ~col:0 ~time:0 in
+  let m2 = mk ~ii:3 ~col:2 ~time:2 in
+  (match Cgra_sim.Coexec.check [ m1; m2 ] with
+  | Error es ->
+      Alcotest.(check bool) "over-subscription names a cycle" true
+        (List.exists (has_substring "memory ops") es)
+  | Ok _ -> Alcotest.fail "cycle-2 collision must be rejected");
+  match Cgra_sim.Coexec.check ~check_mem:false [ m1; m2 ] with
+  | Ok rep -> Alcotest.(check int) "hyperperiod lcm(2,3)" 6 rep.hyperperiod
+  | Error es -> Alcotest.failf "check_mem:false should pass: %s" (List.hd es)
+
 let () =
   Alcotest.run "coexec"
     [
@@ -127,5 +185,10 @@ let () =
           Alcotest.test_case "co-resident simulation" `Quick test_coresident_simulation;
           Alcotest.test_case "bus check over hyperperiod" `Quick
             test_bus_check_over_hyperperiod;
+          Alcotest.test_case "mixed fabrics rejected" `Quick
+            test_mixed_fabrics_rejected;
+          Alcotest.test_case "single resident" `Quick test_single_resident;
+          Alcotest.test_case "bus collision only at hyperperiod" `Quick
+            test_bus_collision_only_at_hyperperiod;
         ] );
     ]

@@ -119,6 +119,77 @@ let test_alloc_repack_exhaustion () =
   Alcotest.(check bool) "third must wait" true
     (Allocator.request al ~client:3 ~desired:1 = None)
 
+let test_alloc_random_sequences () =
+  (* property: under any grant/release order and either policy, live
+     allocations are non-empty, in-bounds, and pairwise disjoint — and
+     every traced Alloc_decision grants a range drawn from the
+     alternatives it weighed *)
+  let module T = Cgra_trace.Trace in
+  List.iter
+    (fun seed ->
+      let rng = Cgra_util.Rng.create ~seed in
+      let total = Cgra_util.Rng.choose rng [| 4; 8; 9; 16 |] in
+      let policy =
+        if Cgra_util.Rng.bool rng then Allocator.Halving else Allocator.Repack_equal
+      in
+      let trace = T.make () in
+      let al = Allocator.create ~policy ~trace ~total_pages:total () in
+      let next = ref 0 in
+      let ctx fmt =
+        Printf.ksprintf
+          (fun s -> Printf.sprintf "seed %d (%d pages, op %d): %s" seed total !next s)
+          fmt
+      in
+      for op = 0 to 39 do
+        next := op;
+        let live = List.map fst (Allocator.clients al) in
+        (if live <> [] && Cgra_util.Rng.int rng 3 = 0 then
+           let c = List.nth live (Cgra_util.Rng.int rng (List.length live)) in
+           Allocator.release al ~client:c
+         else begin
+           let c = !next + 1000 in
+           ignore (Allocator.request al ~client:c ~desired:(Cgra_util.Rng.int_in rng 1 total))
+         end);
+        let cover = Array.make total 0 in
+        List.iter
+          (fun (c, (r : Allocator.range)) ->
+            if r.len < 1 then Alcotest.fail (ctx "client %d holds empty range" c);
+            if r.base < 0 || r.base + r.len > total then
+              Alcotest.fail (ctx "client %d out of bounds [%d+%d]" c r.base r.len);
+            for i = r.base to r.base + r.len - 1 do
+              cover.(i) <- cover.(i) + 1
+            done)
+          (Allocator.clients al);
+        Array.iteri
+          (fun i c ->
+            if c > 1 then Alcotest.fail (ctx "page %d granted to %d clients" i c))
+          cover
+      done;
+      (* every granted decision must offer the grant among its alternatives *)
+      List.iter
+        (fun (e : T.event) ->
+          match e.payload with
+          | T.Alloc_decision { granted = Some g; considered; client; _ } ->
+              if considered = [] then
+                Alcotest.fail
+                  (ctx "client %d granted [%d+%d] with no alternatives recorded"
+                     client g.T.base g.T.len);
+              let covered =
+                List.init g.T.len (fun i -> g.T.base + i)
+                |> List.for_all (fun pg ->
+                       List.exists
+                         (fun (_, (r : T.page_range)) ->
+                           pg >= r.base && pg < r.base + r.len)
+                         considered)
+              in
+              if not covered then
+                Alcotest.fail
+                  (ctx "client %d granted [%d+%d] outside every considered range"
+                     client g.T.base g.T.len)
+          | _ -> ())
+        (T.events trace))
+    (List.init 30 Fun.id)
+
 let test_os_reconfig_cost_slows () =
   let suite = Lazy.force suite_4x4_p4 in
   let threads = Workload.generate ~seed:21 ~n_threads:8 ~cgra_need:0.875 ~suite () in
@@ -499,6 +570,8 @@ let () =
           Alcotest.test_case "shrunk clients" `Quick test_alloc_shrunk_clients;
           Alcotest.test_case "repack policy" `Quick test_alloc_repack_policy;
           Alcotest.test_case "repack exhaustion" `Quick test_alloc_repack_exhaustion;
+          Alcotest.test_case "random sequences stay disjoint" `Quick
+            test_alloc_random_sequences;
           QCheck_alcotest.to_alcotest prop_alloc_invariants;
         ] );
       ( "binary",

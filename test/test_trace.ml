@@ -138,6 +138,37 @@ let test_jsonl_golden () =
   Alcotest.(check bool) "last event is run_end" true
     (contains ~sub:"\"kind\":\"run_end\"" last)
 
+let test_meld_violation_golden () =
+  (* a meld rejection is itself byte-stable: exactly one violation mark
+     inside the checker's span, with a fixed rendering *)
+  let a = arch 4 4 in
+  let g =
+    Cgra_dfg.Graph.create ~name:"ld"
+      ~ops:[ Cgra_dfg.Op.Load { array = "x"; offset = 0; stride = 1 } ]
+      ~edges:[]
+  in
+  let m =
+    {
+      Cgra_mapper.Mapping.arch = a;
+      graph = g;
+      ii = 1;
+      placements =
+        [| Some { Cgra_mapper.Mapping.pe = Coord.make ~row:0 ~col:0; time = 0 } |];
+      routes = [];
+      paged = false;
+    }
+  in
+  let trace = T.make () in
+  (match Cgra_verify.Meld.check_mappings ~trace [ m; m ] with
+  | Ok _ -> Alcotest.fail "duplicated resident must be rejected"
+  | Error _ -> ());
+  Alcotest.(check string) "golden meld rejection"
+    "{\"seq\":0,\"t\":0,\"kind\":\"span_begin\",\"name\":\"meld.check\"}\n\
+     {\"seq\":1,\"t\":0,\"kind\":\"mark\",\"name\":\"meld.violation\",\
+     \"detail\":\"disjoint: residents 0 and 1 both occupy PE (0,0)\"}\n\
+     {\"seq\":2,\"t\":0,\"kind\":\"span_end\",\"name\":\"meld.check\"}\n"
+    (Export.jsonl (T.events trace))
+
 let test_jsonl_lines_parse () =
   let _, events = traced_run ~seed:1 ~n_threads:8 ~need:0.875 ~mode:Os_sim.Multi () in
   List.iteri
@@ -300,6 +331,8 @@ let () =
       ( "export",
         [
           Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
+          Alcotest.test_case "meld violation golden" `Quick
+            test_meld_violation_golden;
           Alcotest.test_case "jsonl lines parse" `Quick test_jsonl_lines_parse;
           Alcotest.test_case "chrome validates, >= 6 kinds" `Quick
             test_chrome_validates_with_kinds;

@@ -196,6 +196,81 @@ let test_accepts_relocated_base () =
   Alcotest.(check bool) "accepted at base 1" true (Verify.mapping m = Ok ());
   Alcotest.(check bool) "validator also accepts" true (Mapping.validate m = Ok ())
 
+(* ---------- validator / checker differential agreement ---------- *)
+
+let test_fuzzed_agreement () =
+  (* replay the fuzz generator and push every mapping — the source, a
+     pe-exact fold, and randomly perturbed mutants — through both the
+     mapper's own [Mapping.validate] and the independent [Verify.mapping]:
+     the two must agree on accept/reject everywhere *)
+  let agree ~what ?(check_mem = true) m =
+    let v = Mapping.validate ~check_mem m = Ok () in
+    let c = Verify.mapping ~check_mem m = Ok () in
+    if v <> c then Alcotest.failf "%s: validator says %b, checker says %b" what v c;
+    v
+  in
+  let mapped = ref 0 and mutants = ref 0 and mutant_rejects = ref 0 in
+  let fabrics = Array.of_list Fuzz.default_fabrics in
+  List.iter
+    (fun seed ->
+      let rng = Cgra_util.Rng.create ~seed in
+      let size, page_pes = Cgra_util.Rng.choose rng fabrics in
+      let a = arch size page_pes in
+      let cfg =
+        {
+          Cgra_kernels.Synthetic.n_ops = Cgra_util.Rng.int_in rng 8 15;
+          mem_fraction = 0.15 +. Cgra_util.Rng.float rng 0.15;
+          recurrence = Cgra_util.Rng.bool rng;
+        }
+      in
+      let g = Cgra_kernels.Synthetic.generate ~seed cfg in
+      match Scheduler.map ~seed Scheduler.Paged a g with
+      | Error _ -> () (* a capacity miss, not an invariant failure *)
+      | Ok m ->
+          incr mapped;
+          if not (agree ~what:(Printf.sprintf "seed %d source" seed) m) then
+            Alcotest.failf "seed %d: scheduler output rejected by both" seed;
+          let n = Mapping.n_pages_used m in
+          (match
+             Cgra_core.Transform.fold ~base_page:0 ~target_pages:(max 1 (n / 2)) m
+           with
+          | Error _ -> ()
+          | Ok sh ->
+              if sh.Cgra_core.Transform.pe_exact then
+                ignore
+                  (agree ~check_mem:false
+                     ~what:(Printf.sprintf "seed %d fold" seed)
+                     sh.Cgra_core.Transform.mapping));
+          (* mutants: nudge one placement in time or space *)
+          for i = 1 to 4 do
+            let pl = Array.copy m.Mapping.placements in
+            let idx = Cgra_util.Rng.int rng (Array.length pl) in
+            (match pl.(idx) with
+            | None -> ()
+            | Some p ->
+                let p' =
+                  if Cgra_util.Rng.bool rng then
+                    { p with Mapping.time = p.time + Cgra_util.Rng.int_in rng 1 3 }
+                  else
+                    {
+                      p with
+                      Mapping.pe =
+                        Coord.make
+                          ~row:(Cgra_util.Rng.int rng a.Cgra.grid.Grid.rows)
+                          ~col:(Cgra_util.Rng.int rng a.Cgra.grid.Grid.cols);
+                    }
+                in
+                pl.(idx) <- Some p');
+            let mutant = { m with Mapping.placements = pl } in
+            incr mutants;
+            if not (agree ~what:(Printf.sprintf "seed %d mutant %d" seed i) mutant)
+            then incr mutant_rejects
+          done)
+    (List.init 60 Fun.id);
+  Alcotest.(check bool) "most seeds mapped" true (!mapped >= 45);
+  Alcotest.(check bool) "mutants exercised" true (!mutants >= 100);
+  Alcotest.(check bool) "some mutants rejected" true (!mutant_rejects > 0)
+
 (* ---------- the fuzz corpus ---------- *)
 
 let test_fuzz_corpus () =
@@ -252,6 +327,8 @@ let () =
         ] );
       ( "fuzz",
         [
+          Alcotest.test_case "validator and checker agree on fuzzed mappings"
+            `Quick test_fuzzed_agreement;
           Alcotest.test_case "fixed 50-seed corpus is clean" `Quick test_fuzz_corpus;
           Alcotest.test_case "deterministic" `Quick test_fuzz_deterministic;
         ] );
