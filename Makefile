@@ -20,9 +20,11 @@ smoke:
 ci: all fmt test smoke
 
 # Regenerate the committed perf baselines at the repo root.  BENCH_micro
-# is single-domain by construction (per-call latencies); BENCH_fig9 uses
-# every core, so compare wall-clock only across hosts with the same
-# CGRA_DOMAINS.
+# rows carry a per-row "domains" field: the sequential rows are
+# single-domain per-call latencies, and the "(paged, -j 4)" rows time the
+# same compiles with the scheduler ladder raced across a 4-domain pool
+# (clamped to physical cores).  BENCH_fig9 uses every core, so compare
+# wall-clock only across hosts with the same CGRA_DOMAINS.
 bench-json:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- micro --json

@@ -37,8 +37,10 @@ let json_string s =
   Buffer.add_char b '"';
   Buffer.contents b
 
-(* [results] are (name, value) points in [unit_]; validated with the
-   project's own JSON parser before the file is written *)
+(* [results] are (name, value, domains) points in [unit_] — [domains] is
+   the pool width that specific measurement ran at (the compiler race
+   rows differ from the sequential rest); validated with the project's
+   own JSON parser before the file is written *)
 let write_bench_json ~path ~bench ~unit_ ~domains ~extras results =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
@@ -49,9 +51,9 @@ let write_bench_json ~path ~bench ~unit_ ~domains ~extras results =
   Buffer.add_string b "  \"results\": [\n";
   let n = List.length results in
   List.iteri
-    (fun i (name, v) ->
-      Printf.bprintf b "    { \"name\": %s, \"value\": %.3f }%s\n"
-        (json_string name) v
+    (fun i (name, v, d) ->
+      Printf.bprintf b "    { \"name\": %s, \"value\": %.3f, \"domains\": %d }%s\n"
+        (json_string name) v d
         (if i = n - 1 then "" else ","))
     results;
   Buffer.add_string b "  ]\n}\n";
@@ -100,10 +102,12 @@ let run_fig9 ~pool ~replicates ~json () =
   in
   if json then
     let total = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timed in
+    let w = Cgra_util.Pool.width pool in
     write_bench_json ~path:"BENCH_fig9.json" ~bench:"fig9" ~unit_:"wall_s"
-      ~domains:(Cgra_util.Pool.width pool)
+      ~domains:w
       ~extras:[ ("replicates", string_of_int replicates) ]
-      (timed @ [ ("fig9 full sweep", total) ])
+      (List.map (fun (name, dt) -> (name, dt, w)) timed
+      @ [ ("fig9 full sweep", total, w) ])
 
 (* ----- bechamel micro-benchmarks ----- *)
 
@@ -151,6 +155,26 @@ let mapper_tests () =
       (stage (fun () ->
            Result.get_ok
              (Cgra_mapper.Scheduler.map Cgra_mapper.Scheduler.Paged arch sobel)));
+  ]
+
+(* The same compiles with the (II, attempt) ladder raced across a pool —
+   results are bit-identical to the sequential rows above; only the wall
+   clock differs.  [j] is the requested lane count (the pool clamps to
+   the machine's cores, so the effective width may be lower). *)
+let mapper_raced_tests ~pool ~j () =
+  let arch = Option.get (Cgra_arch.Cgra.standard ~size:4 ~page_pes:4) in
+  let mpeg = (Cgra_kernels.Kernels.find_exn "mpeg").graph in
+  let sobel = (Cgra_kernels.Kernels.find_exn "sobel").graph in
+  [
+    Bechamel.Test.make ~name:(Printf.sprintf "compile mpeg 4x4 (paged, -j %d)" j)
+      (stage (fun () ->
+           Result.get_ok
+             (Cgra_mapper.Scheduler.map ~pool Cgra_mapper.Scheduler.Paged arch mpeg)));
+    Bechamel.Test.make
+      ~name:(Printf.sprintf "compile sobel 4x4 (paged, -j %d)" j)
+      (stage (fun () ->
+           Result.get_ok
+             (Cgra_mapper.Scheduler.map ~pool Cgra_mapper.Scheduler.Paged arch sobel)));
   ]
 
 let run_micro ~json () =
@@ -204,10 +228,19 @@ let run_micro ~json () =
      magnitude cheaper than recompiling):";
   let mapper_rows = collect (mapper_tests ()) in
   show mapper_rows;
+  print_endline
+    "\nCompiler, speculative race (same results, ladder fanned across 4 domains):";
+  let raced_rows =
+    Cgra_util.Pool.with_pool ~domains:4 (fun pool ->
+        collect (mapper_raced_tests ~pool ~j:4 ()))
+  in
+  show raced_rows;
   if json then
+    let seq rows = List.map (fun (name, v) -> (name, v, 1)) rows in
     write_bench_json ~path:"BENCH_micro.json" ~bench:"micro" ~unit_:"ns_per_run"
       ~domains:1 ~extras:[]
-      (transform_rows @ greedy_rows @ mapper_rows)
+      (seq transform_rows @ seq greedy_rows @ seq mapper_rows
+      @ List.map (fun (name, v) -> (name, v, 4)) raced_rows)
 
 (* ----- ablations (design choices DESIGN.md calls out) ----- *)
 

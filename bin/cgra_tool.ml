@@ -32,8 +32,9 @@ let iters_arg =
 
 let domains_arg =
   let doc =
-    "Worker domains for the parallel sections (figure sweeps, fuzz corpora).  \
-     Output is byte-identical at any width.  Default: the $(b,CGRA_DOMAINS) \
+    "Worker domains for the parallel sections (figure sweeps, fuzz corpora, \
+     and the compiler's speculative II/attempt race).  Output is \
+     byte-identical at any width.  Default: the $(b,CGRA_DOMAINS) \
      environment variable, or 1 (sequential)."
   in
   Arg.(value & opt (some int) None & info [ "j"; "domains" ] ~docv:"N" ~doc)
@@ -144,15 +145,26 @@ let cmd_kernels =
 (* ----- map ----- *)
 
 let cmd_map =
-  let run kernel size page_pes seed paged show =
+  let run kernel size page_pes seed paged show domains trace_out format =
     let arch = or_die (arch_of ~size ~page_pes) in
     let k = or_die (kernel_of kernel) in
     let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
-    let m = or_die (Scheduler.map ~seed kind arch k.graph) in
+    let trace =
+      match trace_out with
+      | None -> Cgra_trace.Trace.null
+      | Some _ -> Cgra_trace.Trace.make ()
+    in
+    let m =
+      Cgra_util.Pool.with_pool ?domains (fun pool ->
+          or_die (Scheduler.map ~seed ~pool ~trace kind arch k.graph))
+    in
     Format.printf "%a@." Mapping.pp_stats m;
     (match Mapping.validate m with
     | Ok () -> print_endline "validation: ok"
     | Error es -> List.iter (fun e -> print_endline ("VIOLATION: " ^ e)) es);
+    (match trace_out with
+    | Some path -> export_trace ~format ~path (Cgra_trace.Trace.events trace)
+    | None -> ());
     if show then begin
       Format.printf "@.%a" Mapping.pp m;
       Format.printf "@.page-level schedule:@.%a" Page_schedule.pp
@@ -163,17 +175,31 @@ let cmd_map =
     Arg.(value & flag & info [ "paged" ] ~doc:"Apply the paging constraints.")
   in
   let show = Arg.(value & flag & info [ "show" ] ~doc:"Print the placement grids.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the scheduler's speculative race (candidates launched, \
+             cancelled, winner) to FILE.")
+  in
   Cmd.v
     (Cmd.info "map" ~doc:"Compile a kernel onto the CGRA and report II and placement.")
-    Term.(const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ show)
+    Term.(
+      const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ show
+      $ domains_arg $ trace_out $ format_arg)
 
 (* ----- shrink ----- *)
 
 let cmd_shrink =
-  let run kernel size page_pes seed target show =
+  let run kernel size page_pes seed target show domains =
     let arch = or_die (arch_of ~size ~page_pes) in
     let k = or_die (kernel_of kernel) in
-    let m = or_die (Scheduler.map ~seed Scheduler.Paged arch k.graph) in
+    let m =
+      Cgra_util.Pool.with_pool ?domains (fun pool ->
+          or_die (Scheduler.map ~seed ~pool Scheduler.Paged arch k.graph))
+    in
     Format.printf "original: %a@." Mapping.pp_stats m;
     let sh = or_die (Transform.fold ~target_pages:target m) in
     Format.printf "shrunk:   %a@." Mapping.pp_stats sh.mapping;
@@ -204,16 +230,21 @@ let cmd_shrink =
   Cmd.v
     (Cmd.info "shrink"
        ~doc:"Compile a kernel, then shrink it with the PageMaster transformation.")
-    Term.(const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ target $ show)
+    Term.(
+      const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ target $ show
+      $ domains_arg)
 
 (* ----- simulate ----- *)
 
 let cmd_simulate =
-  let run kernel size page_pes seed paged iterations trace_out format =
+  let run kernel size page_pes seed paged iterations trace_out format domains =
     let arch = or_die (arch_of ~size ~page_pes) in
     let k = or_die (kernel_of kernel) in
     let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
-    let m = or_die (Scheduler.map ~seed kind arch k.graph) in
+    let m =
+      Cgra_util.Pool.with_pool ?domains (fun pool ->
+          or_die (Scheduler.map ~seed ~pool kind arch k.graph))
+    in
     let mem = Cgra_kernels.Kernels.init_memory k in
     let trace =
       match trace_out with
@@ -249,17 +280,21 @@ let cmd_simulate =
        ~doc:"Execute a mapped kernel cycle-accurately and compare with the oracle.")
     Term.(
       const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ iters_arg
-      $ trace_out $ format_arg)
+      $ trace_out $ format_arg $ domains_arg)
 
 (* ----- trace ----- *)
 
 let cmd_trace =
-  let run size page_pes seed mode threads need policy reconfig_cost out format =
+  let run size page_pes seed mode threads need policy reconfig_cost out format
+      domains =
     let arch = or_die (arch_of ~size ~page_pes) in
     if threads < 1 then or_die (Error "--threads must be positive");
     if need <= 0.0 || need >= 1.0 then or_die (Error "--need must be in (0, 1)");
     if reconfig_cost < 0.0 then or_die (Error "--reconfig-cost must be >= 0");
-    let suite = or_die (Binary.compile_suite ~seed arch) in
+    let suite =
+      Cgra_util.Pool.with_pool ?domains (fun pool ->
+          or_die (Binary.compile_suite ~seed ~pool arch))
+    in
     let total_pages = Cgra.n_pages arch in
     let workload =
       Workload.generate ~seed ~n_threads:threads ~cgra_need:need ~suite ()
@@ -340,7 +375,7 @@ let cmd_trace =
           Chrome/Perfetto trace or JSONL.")
     Term.(
       const run $ size_arg $ page_arg $ seed_arg $ mode $ threads $ need $ policy
-      $ reconfig_cost $ out $ format_arg)
+      $ reconfig_cost $ out $ format_arg $ domains_arg)
 
 (* ----- greedy ----- *)
 
@@ -381,11 +416,14 @@ let cmd_greedy =
 (* ----- encode ----- *)
 
 let cmd_encode =
-  let run kernel size page_pes seed paged target =
+  let run kernel size page_pes seed paged target domains =
     let arch = or_die (arch_of ~size ~page_pes) in
     let k = or_die (kernel_of kernel) in
     let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
-    let m = or_die (Scheduler.map ~seed kind arch k.graph) in
+    let m =
+      Cgra_util.Pool.with_pool ?domains (fun pool ->
+          or_die (Scheduler.map ~seed ~pool kind arch k.graph))
+    in
     let m =
       match target with
       | None -> m
@@ -434,7 +472,9 @@ let cmd_encode =
        ~doc:
          "Lower a (possibly shrunk) schedule to per-PE context words and run the \
           decoder-level machine.")
-    Term.(const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ target)
+    Term.(
+      const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ target
+      $ domains_arg)
 
 (* ----- verify ----- *)
 
@@ -482,7 +522,10 @@ let cmd_verify =
         let arch = or_die (arch_of ~size ~page_pes) in
         let k = or_die (kernel_of kernel) in
         let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
-        let m = or_die (Scheduler.map ~seed kind arch k.graph) in
+        let m =
+          Cgra_util.Pool.with_pool ?domains (fun pool ->
+              or_die (Scheduler.map ~seed ~pool kind arch k.graph))
+        in
         Format.printf "%a@." Mapping.pp_stats m;
         let report what = function
           | [] -> Printf.printf "%s: ok\n" what

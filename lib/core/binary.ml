@@ -41,15 +41,15 @@ let clear_cache () =
   Hashtbl.reset cache;
   Mutex.unlock cache_lock
 
-let compile_uncached ~seed arch (k : Cgra_kernels.Kernels.t) =
-  match Scheduler.map ~seed Unconstrained arch k.graph with
+let compile_uncached ~seed ?pool ?trace arch (k : Cgra_kernels.Kernels.t) =
+  match Scheduler.map ~seed ?pool ?trace Unconstrained arch k.graph with
   | Error e -> Error e
   | Ok base -> (
-      match Scheduler.map ~seed Paged arch k.graph with
+      match Scheduler.map ~seed ?pool ?trace Paged arch k.graph with
       | Error e -> Error e
       | Ok paged -> Ok { name = k.name; graph = k.graph; base; paged })
 
-let compile ?(seed = 0) arch (k : Cgra_kernels.Kernels.t) =
+let compile ?(seed = 0) ?pool ?trace arch (k : Cgra_kernels.Kernels.t) =
   let key = (fingerprint arch, k.name, seed) in
   let cached =
     Mutex.lock cache_lock;
@@ -64,19 +64,27 @@ let compile ?(seed = 0) arch (k : Cgra_kernels.Kernels.t) =
   | None ->
       (* compiled outside the lock: two domains may briefly duplicate the
          same compile, but the result is deterministic so either copy is
-         interchangeable *)
+         interchangeable.  The pool width is deliberately absent from the
+         cache key — raced and sequential compiles are bit-identical
+         (Scheduler.map's determinism contract), so they memoize to the
+         same entry. *)
       Atomic.incr misses;
-      let r = compile_uncached ~seed arch k in
+      let r = compile_uncached ~seed ?pool ?trace arch k in
       Mutex.lock cache_lock;
       Hashtbl.replace cache key r;
       Mutex.unlock cache_lock;
       r
 
-let compile_suite ?(seed = 0) ?pool arch =
+let compile_suite ?(seed = 0) ?pool ?trace arch =
   let compiled =
     match pool with
-    | Some p -> Cgra_util.Pool.map p (compile ~seed arch) Cgra_kernels.Kernels.all
-    | None -> List.map (compile ~seed arch) Cgra_kernels.Kernels.all
+    | Some p ->
+        (* One kernel at a time, each racing its scheduling ladder across
+           the whole pool: ladder attempts have near-uniform cost, so
+           racing them load-balances better than one-kernel-per-domain
+           (kernel compile times vary by an order of magnitude). *)
+        List.map (compile ~seed ~pool:p ?trace arch) Cgra_kernels.Kernels.all
+    | None -> List.map (compile ~seed ?trace arch) Cgra_kernels.Kernels.all
   in
   (* first failure wins, in suite order, as the sequential fold did *)
   List.fold_left

@@ -27,20 +27,33 @@ val iteration_cycles : t -> pages:int -> int
     the allocation covers the whole schedule ([Transform.ii_q]). *)
 
 val compile :
-  ?seed:int -> Cgra_arch.Cgra.t -> Cgra_kernels.Kernels.t -> (t, string) result
+  ?seed:int ->
+  ?pool:Cgra_util.Pool.t ->
+  ?trace:Cgra_trace.Trace.t ->
+  Cgra_arch.Cgra.t ->
+  Cgra_kernels.Kernels.t ->
+  (t, string) result
 (** Memoized: results are cached on (architecture fingerprint, kernel
     name, seed), so figure sweeps and fuzz corpora that revisit the same
     fabric stop recompiling the suite.  Compilation is deterministic per
-    key, so cached and fresh results are interchangeable; the cache is
-    safe to share across domains. *)
+    key — including at any [pool] width, since the raced scheduler is
+    bit-identical to the sequential one — so cached and fresh results
+    are interchangeable and the pool width is not part of the key; the
+    cache is safe to share across domains.  With [pool], both scheduler
+    runs race their (II, attempt) ladders across its domains
+    ({!Cgra_mapper.Scheduler.map}). *)
 
 val compile_suite :
-  ?seed:int -> ?pool:Cgra_util.Pool.t -> Cgra_arch.Cgra.t -> (t list, string) result
+  ?seed:int ->
+  ?pool:Cgra_util.Pool.t ->
+  ?trace:Cgra_trace.Trace.t ->
+  Cgra_arch.Cgra.t ->
+  (t list, string) result
 (** Compile the full 11-kernel suite; fails if any kernel fails to map
-    (treated as a bug by the test-suite).  With [pool], kernels compile
-    in parallel across its domains; the suite order — and on failure,
-    {e which} error is reported (the first kernel's, in suite order) —
-    is unchanged. *)
+    (treated as a bug by the test-suite).  With [pool], each kernel's
+    scheduling ladder is raced across the pool's domains, one kernel at
+    a time; the suite order — and on failure, {e which} error is
+    reported (the first kernel's, in suite order) — is unchanged. *)
 
 val fingerprint : Cgra_arch.Cgra.t -> string
 (** The architecture component of the cache key (every [Cgra.t] field). *)

@@ -9,17 +9,26 @@ let earliest_free ~ii ~free pe ~lower ~deadline =
   in
   go lower
 
-let find ~grid ~ii ~free ~allowed ~read_adjacent ?goal_adjacent
+let find ~grid ~ii ~free ~allowed ~read_adjacent ?goal_adjacent ?neighbors
     ~(src : Mapping.placement) ~dst_pe ~deadline ~max_hops () =
   let goal_adjacent = Option.value ~default:read_adjacent goal_adjacent in
+  let neighbors =
+    match neighbors with
+    | Some f -> f
+    | None -> fun pe -> Grid.neighbors grid pe @ [ pe ]
+  in
   if goal_adjacent src.Mapping.pe dst_pe && deadline >= src.Mapping.time + 1 then
     Some []
   else begin
     (* Best-first over (hops, arrival time); parents recorded for path
-       reconstruction. *)
+       reconstruction.  The visited map is two dense per-PE arrays — the
+       scheduler calls this in its innermost loop, so constant factors
+       matter. *)
     let module Pq = Cgra_util.Pqueue in
-    let best = Hashtbl.create 32 in
+    let n = Grid.pe_count grid in
     (* pe index -> (hops, time) already expanded with *)
+    let best_h = Array.make n max_int in
+    let best_t = Array.make n max_int in
     let cmp (h1, t1) (h2, t2) =
       let c = Int.compare h1 h2 in
       if c <> 0 then c else Int.compare t1 t2
@@ -31,12 +40,11 @@ let find ~grid ~ii ~free ~allowed ~read_adjacent ?goal_adjacent
       | Some t ->
           let key = Grid.index grid pe in
           let better =
-            match Hashtbl.find_opt best key with
-            | None -> true
-            | Some (h0, t0) -> cmp (hops, t) (h0, t0) < 0
+            hops < best_h.(key) || (hops = best_h.(key) && t < best_t.(key))
           in
           if better then begin
-            Hashtbl.replace best key (hops, t);
+            best_h.(key) <- hops;
+            best_t.(key) <- t;
             q := Pq.push !q (hops, t) (pe, { Mapping.pe; time = t } :: path)
           end
     in
@@ -44,7 +52,7 @@ let find ~grid ~ii ~free ~allowed ~read_adjacent ?goal_adjacent
       (fun pe ->
         if allowed pe && read_adjacent src.Mapping.pe pe then
           push 1 (src.Mapping.time + 1) pe [])
-      (Grid.neighbors grid src.Mapping.pe @ [ src.Mapping.pe ]);
+      (neighbors src.Mapping.pe);
     let rec search () =
       match Pq.pop !q with
       | None -> None
@@ -56,7 +64,7 @@ let find ~grid ~ii ~free ~allowed ~read_adjacent ?goal_adjacent
             List.iter
               (fun pe' ->
                 if allowed pe' && read_adjacent pe pe' then push (hops + 1) (t + 1) pe' path)
-              (Grid.neighbors grid pe @ [ pe ]);
+              (neighbors pe);
             search ()
           end
     in

@@ -18,6 +18,7 @@ val find :
   allowed:(Cgra_arch.Coord.t -> bool) ->
   read_adjacent:(Cgra_arch.Coord.t -> Cgra_arch.Coord.t -> bool) ->
   ?goal_adjacent:(Cgra_arch.Coord.t -> Cgra_arch.Coord.t -> bool) ->
+  ?neighbors:(Cgra_arch.Coord.t -> Cgra_arch.Coord.t list) ->
   src:Mapping.placement ->
   dst_pe:Cgra_arch.Coord.t ->
   deadline:int ->
@@ -34,4 +35,7 @@ val find :
     whose RF); [goal_adjacent] (default [read_adjacent]) is the relation
     for the final read by the consumer — it differs for cross-page edges,
     where the last producer-side PE must sit on the page boundary.
-    [None] when no chain of at most [max_hops] hops exists. *)
+    [neighbors pe] must return the mesh neighbours of [pe] followed by
+    [pe] itself (the default computes exactly that); callers on a hot
+    path pass a precomputed table.  [None] when no chain of at most
+    [max_hops] hops exists. *)

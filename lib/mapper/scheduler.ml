@@ -30,13 +30,87 @@ let mii kind arch g =
   let extra = Memdep.as_edge_triples (Memdep.ordering g) in
   max res (Analysis.rec_mii_with ~extra g)
 
-(* ----- one scheduling attempt ---------------------------------------- *)
+(* ----- per-map precomputation ---------------------------------------- *)
 
-module Attempt = struct
+(* Everything here is a pure function of (kind, arch, graph): the same
+   for all (ii, attempt) candidates of one [map] call, so it is computed
+   once and shared — read-only — by every attempt, including attempts
+   racing on other domains. *)
+module Prep = struct
   type t = {
     kind : kind;
     arch : Cgra.t;
     graph : Graph.t;
+    ordering : Memdep.t list;
+        (* memory ordering constraints: timing-only edges *)
+    order : int list;  (* node placement order (rank, height, asap, id) *)
+    all_pes : Coord.t array;  (* row-major *)
+    nbrs_self : Coord.t list array;
+        (* pe index -> mesh neighbours (N/E/S/W) followed by the PE
+           itself: the exact expansion list the router uses *)
+    page_idx : int array;  (* pe index -> page, or -1 when unpaged *)
+    boundary : bool array;
+        (* pe index -> boundary-adjacent to the next page (ops with
+           unplaced consumers prefer these under the spread personality) *)
+    is_band : bool;  (* band-shaped pages: serpentine adjacency applies *)
+    mem_ports : int;
+  }
+
+  let make kind arch graph =
+    let grid = arch.Cgra.grid in
+    let pages = arch.Cgra.pages in
+    let n = Grid.pe_count grid in
+    let all_pes = Array.of_list (Grid.all_pes grid) in
+    let nbrs_self =
+      Array.map (fun pe -> Grid.neighbors grid pe @ [ pe ]) all_pes
+    in
+    let page_idx =
+      Array.map
+        (fun pe -> Option.value ~default:(-1) (Page.page_of_pe pages pe))
+        all_pes
+    in
+    let boundary = Array.make n false in
+    for p = 0 to Page.n_pages pages - 2 do
+      List.iter
+        (fun (a, _) -> boundary.(Grid.index grid a) <- true)
+        (Page.boundary_pairs pages p)
+    done;
+    let order =
+      let rank = Analysis.scc_topo_rank graph in
+      let h = Analysis.height graph in
+      let a = Analysis.asap graph in
+      List.sort
+        (fun v w ->
+          let c = Int.compare rank.(v) rank.(w) in
+          if c <> 0 then c
+          else
+            let c = Int.compare h.(w) h.(v) in
+            if c <> 0 then c
+            else
+              let c = Int.compare a.(v) a.(w) in
+              if c <> 0 then c else Int.compare v w)
+        (schedulable_nodes graph)
+    in
+    {
+      kind;
+      arch;
+      graph;
+      ordering = Memdep.ordering graph;
+      order;
+      all_pes;
+      nbrs_self;
+      page_idx;
+      boundary;
+      is_band = not (Page.is_rect pages);
+      mem_ports = arch.Cgra.mem_ports_per_row;
+    }
+end
+
+(* ----- one scheduling attempt ---------------------------------------- *)
+
+module Attempt = struct
+  type t = {
+    prep : Prep.t;
     ii : int;
     spread : bool;
         (* search personality: [false] packs operations into the fewest
@@ -44,51 +118,61 @@ module Attempt = struct
            uses pages freely, favouring a lower II.  Restart attempts
            alternate between the two. *)
     rng : Cgra_util.Rng.t;
-    ordering : Memdep.t list;
-        (* memory ordering constraints: timing-only edges *)
+    cancel : unit -> bool;
+        (* polled between node placements: [true] once a better race
+           candidate has won, making this attempt's outcome irrelevant *)
+    debug : (unit -> string) -> unit;
+        (* failure-diagnostics sink: the direct Logs emitter when running
+           sequentially, a per-attempt buffer when racing *)
     placements : Mapping.placement option array;
-    occupied : (int, unit) Hashtbl.t;  (* pe_index * ii + slot *)
-    mem_use : (int, int) Hashtbl.t;  (* row * ii + slot -> count *)
+    occupied : Bytes.t;  (* pe_index * ii + slot *)
+    mem_use : int array;  (* row * ii + slot -> count *)
+    overlay : int array;  (* generation stamps, pe_index * ii + slot *)
+    mutable overlay_gen : int;
     mutable routes : Mapping.route list;
     mutable max_page_used : int;  (* -1 when none *)
   }
 
-  let create ?(spread = false) kind arch graph ii rng =
+  let create ?(spread = false) ?(cancel = fun () -> false) ~debug prep ii rng =
+    let n_pes = Array.length prep.Prep.all_pes in
     {
-      kind;
-      arch;
-      graph;
+      prep;
       ii;
       spread;
       rng;
-      ordering = Memdep.ordering graph;
-      placements = Array.make (Graph.n_nodes graph) None;
-      occupied = Hashtbl.create 128;
-      mem_use = Hashtbl.create 32;
+      cancel;
+      debug;
+      placements = Array.make (Graph.n_nodes prep.Prep.graph) None;
+      occupied = Bytes.make (n_pes * ii) '\000';
+      mem_use = Array.make (prep.Prep.arch.Cgra.grid.Grid.rows * ii) 0;
+      overlay = Array.make (n_pes * ii) 0;
+      overlay_gen = 0;
       routes = [];
       max_page_used = -1;
     }
 
-  let grid t = t.arch.Cgra.grid
+  let grid t = t.prep.Prep.arch.Cgra.grid
 
-  let pages t = t.arch.Cgra.pages
+  let graph t = t.prep.Prep.graph
+
+  let kind t = t.prep.Prep.kind
 
   let slot t time = time mod t.ii
 
-  (* Packed single-int hashtable keys: with [slot < ii] the pair
-     (pe index, slot) packs bijectively into [pe_index * ii + slot], and
-     (row, slot) into [row * ii + slot] — no tuple allocation per probe
-     in the placement inner loop. *)
+  (* Packed single-int keys: with [slot < ii] the pair (pe index, slot)
+     packs bijectively into [pe_index * ii + slot], and (row, slot) into
+     [row * ii + slot] — a dense array index, no hashing in the
+     placement inner loop. *)
   let occ_key t pe time = (Grid.index (grid t) pe * t.ii) + slot t time
 
   let mem_key t pe time = (pe.Coord.row * t.ii) + slot t time
 
-  let base_free t pe time = not (Hashtbl.mem t.occupied (occ_key t pe time))
+  let base_free t pe time = Bytes.get t.occupied (occ_key t pe time) = '\000'
 
   let is_const t v =
-    match (Graph.node t.graph v).op with Op.Const _ -> true | _ -> false
+    match (Graph.node (graph t) v).op with Op.Const _ -> true | _ -> false
 
-  let page_of t pe = Page.page_of_pe (pages t) pe
+  let page_of_idx t pe = t.prep.Prep.page_idx.(Grid.index (grid t) pe)
 
   (* Reach relation for reads: same PE or mesh neighbour; for band pages
      under paging constraints, same-page reads must additionally be
@@ -97,170 +181,160 @@ module Attempt = struct
     Coord.equal a b
     || Coord.adjacent a b
        &&
-       if same_page && t.kind = Paged && not (Page.is_rect (pages t)) then
+       if same_page && kind t = Paged && t.prep.Prep.is_band then
          abs (Grid.serp_index (grid t) a - Grid.serp_index (grid t) b) = 1
        else true
 
   (* Adjacency for the boundary crossing of a cross-page read. *)
   let cross_adjacent t a b =
     Coord.adjacent a b
-    && (Page.is_rect (pages t)
+    && ((not t.prep.Prep.is_band)
        || abs (Grid.serp_index (grid t) a - Grid.serp_index (grid t) b) = 1)
 
   (* Feasibility of one edge given both endpoints, with an overlay of
      tentatively routed hops.  [producer]/[consumer] are the edge's
      endpoint placements; returns the hops needed (possibly []). *)
-  let edge_feasible t ~overlay (e : Graph.edge) ~(producer : Mapping.placement)
+  let edge_feasible t (e : Graph.edge) ~(producer : Mapping.placement)
       ~(consumer : Mapping.placement) =
     let read_time = consumer.time + (e.distance * t.ii) in
+    let gen = t.overlay_gen in
     let free pe time =
-      base_free t pe time && not (Hashtbl.mem overlay (occ_key t pe time))
+      let k = occ_key t pe time in
+      Bytes.get t.occupied k = '\000' && t.overlay.(k) <> gen
     in
-    match t.kind with
+    let neighbors pe = t.prep.Prep.nbrs_self.(Grid.index (grid t) pe) in
+    match kind t with
     | Unconstrained ->
         Router.find ~grid:(grid t) ~ii:t.ii ~free ~allowed:(fun _ -> true)
           ~read_adjacent:(read_adjacent t ~same_page:false)
-          ~src:producer ~dst_pe:consumer.pe ~deadline:read_time ~max_hops:8 ()
+          ~neighbors ~src:producer ~dst_pe:consumer.pe ~deadline:read_time
+          ~max_hops:8 ()
     | Paged -> (
-        match (page_of t producer.pe, page_of t consumer.pe) with
-        | Some pu, Some pv when pv >= pu ->
+        match (page_of_idx t producer.pe, page_of_idx t consumer.pe) with
+        | pu, pv when pu >= 0 && pv >= pu ->
             (* Values may relay forward through intermediate pages; each
                step stays in its page or crosses one boundary. *)
             let allowed pe =
-              match page_of t pe with Some p -> p >= pu && p <= pv | None -> false
+              let p = page_of_idx t pe in
+              p >= pu && p <= pv
             in
             let step a b =
-              match (page_of t a, page_of t b) with
-              | Some pa, Some pb when pb = pa -> read_adjacent t ~same_page:true a b
-              | Some pa, Some pb when pb = pa + 1 -> cross_adjacent t a b
-              | Some _, Some _ | None, _ | _, None -> false
+              let pa = page_of_idx t a and pb = page_of_idx t b in
+              if pa < 0 || pb < 0 then false
+              else if pb = pa then read_adjacent t ~same_page:true a b
+              else if pb = pa + 1 then cross_adjacent t a b
+              else false
             in
             Router.find ~grid:(grid t) ~ii:t.ii ~free ~allowed ~read_adjacent:step
-              ~src:producer ~dst_pe:consumer.pe ~deadline:read_time
+              ~neighbors ~src:producer ~dst_pe:consumer.pe ~deadline:read_time
               ~max_hops:(2 * (pv - pu + 4))
               ()
-        | Some _, Some _ | None, _ | _, None -> None)
+        | _, _ -> None)
 
   (* All edges of candidate [v] at [cand] whose other endpoint is already
-     placed.  Returns the routes to commit, or None if infeasible. *)
-  let edges_feasible t v (cand : Mapping.placement) =
-    let overlay = Hashtbl.create 8 in
+     placed — [preds]/[succs] are precomputed once per node in
+     [place_node].  Returns the routes to commit, or None if infeasible. *)
+  let edges_feasible t ~preds ~succs (cand : Mapping.placement) =
+    t.overlay_gen <- t.overlay_gen + 1;
+    let gen = t.overlay_gen in
     let add_overlay hops =
       List.iter
-        (fun (h : Mapping.placement) ->
-          Hashtbl.replace overlay (occ_key t h.pe h.time) ())
+        (fun (h : Mapping.placement) -> t.overlay.(occ_key t h.pe h.time) <- gen)
         hops
     in
-    let rec go acc = function
+    let rec go_succs acc = function
       | [] -> Some acc
-      | (e, producer, consumer) :: rest -> (
-          match edge_feasible t ~overlay e ~producer ~consumer with
+      | (e, pw) :: rest -> (
+          match edge_feasible t e ~producer:cand ~consumer:pw with
           | None -> None
-          | Some [] -> go acc rest
+          | Some [] -> go_succs acc rest
           | Some hops ->
               add_overlay hops;
-              go ({ Mapping.edge = e; hops } :: acc) rest)
+              go_succs ({ Mapping.edge = e; hops } :: acc) rest)
     in
-    let pred_edges =
-      List.filter_map
-        (fun (e : Graph.edge) ->
-          if is_const t e.src then None
-          else
-            match t.placements.(e.src) with
-            | Some pu -> Some (e, pu, cand)
-            | None -> None)
-        (Graph.preds t.graph v)
+    let rec go_preds acc = function
+      | [] -> go_succs acc succs
+      | (e, pu) :: rest -> (
+          match edge_feasible t e ~producer:pu ~consumer:cand with
+          | None -> None
+          | Some [] -> go_preds acc rest
+          | Some hops ->
+              add_overlay hops;
+              go_preds ({ Mapping.edge = e; hops } :: acc) rest)
     in
-    let succ_edges =
-      List.filter_map
-        (fun (e : Graph.edge) ->
-          match t.placements.(e.dst) with
-          | Some pw -> Some (e, cand, pw)
-          | None -> None)
-        (Graph.succs t.graph v)
-    in
-    go [] (pred_edges @ succ_edges)
+    go_preds [] preds
 
-  let mem_ok t v pe time =
-    if not (Op.is_mem (Graph.node t.graph v).op) then true
-    else
-      Option.value ~default:0 (Hashtbl.find_opt t.mem_use (mem_key t pe time))
-      < t.arch.Cgra.mem_ports_per_row
+  let mem_ok t ~v_is_mem pe time =
+    (not v_is_mem) || t.mem_use.(mem_key t pe time) < t.prep.Prep.mem_ports
 
   let candidate_pes t =
-    let all = Grid.all_pes (grid t) in
-    match t.kind with
-    | Unconstrained -> all
+    let all = t.prep.Prep.all_pes in
+    match kind t with
+    | Unconstrained -> Array.copy all
     | Paged ->
         (* Only pages forming a contiguous prefix may be used; allow one
            fresh page beyond the current maximum. *)
-        List.filter
-          (fun pe ->
-            match page_of t pe with
-            | Some pg -> pg <= t.max_page_used + 1
-            | None -> false)
-          all
-
-  (* PEs of each page that are boundary-adjacent to the next page.  Ops
-     with unplaced consumers prefer these: their values can still leave
-     the page without relays. *)
-  let boundary_pes t =
-    let tbl = Hashtbl.create 16 in
-    for n = 0 to Page.n_pages (pages t) - 2 do
-      List.iter
-        (fun (a, _) -> Hashtbl.replace tbl (Grid.index (grid t) a) ())
-        (Page.boundary_pairs (pages t) n)
-    done;
-    tbl
+        let page_idx = t.prep.Prep.page_idx in
+        let keep i = page_idx.(i) >= 0 && page_idx.(i) <= t.max_page_used + 1 in
+        let count = ref 0 in
+        Array.iteri (fun i _ -> if keep i then incr count) all;
+        let out = Array.make !count all.(0) in
+        let j = ref 0 in
+        Array.iteri
+          (fun i pe ->
+            if keep i then begin
+              out.(!j) <- pe;
+              incr j
+            end)
+          all;
+        out
 
   let has_unplaced_consumer t v =
     List.exists
       (fun (e : Graph.edge) -> t.placements.(e.dst) = None)
-      (Graph.succs t.graph v)
+      (Graph.succs (graph t) v)
 
   (* Cost of a feasible candidate.  Packing personality: fewer fresh
      pages and lower page index first (harvestable fabric); spreading
      personality: fewer routing hops and boundary access for ops whose
      consumers are still unplaced (lower II pressure). *)
-  let cost t ~boundary v (cand : Mapping.placement) routes =
+  let cost t v (cand : Mapping.placement) routes =
     let hops =
       List.fold_left (fun acc (r : Mapping.route) -> acc + List.length r.hops) 0 routes
     in
-    match t.kind with
+    match kind t with
     | Unconstrained -> (0, 0, hops, 0, Cgra_util.Rng.int t.rng 1024)
     | Paged when t.spread ->
         let interior_penalty =
           if
             has_unplaced_consumer t v
-            && not (Hashtbl.mem boundary (Grid.index (grid t) cand.pe))
+            && not t.prep.Prep.boundary.(Grid.index (grid t) cand.pe)
           then 1
           else 0
         in
         (0, hops, interior_penalty, 0, Cgra_util.Rng.int t.rng 1024)
     | Paged ->
-        let pg = Option.value ~default:0 (page_of t cand.pe) in
+        let pg = max 0 (page_of_idx t cand.pe) in
         let fresh = if pg > t.max_page_used then 1 else 0 in
         (fresh, pg, hops, 0, Cgra_util.Rng.int t.rng 1024)
 
   let commit t v (cand : Mapping.placement) routes =
     t.placements.(v) <- Some cand;
-    Hashtbl.replace t.occupied (occ_key t cand.pe cand.time) ();
-    if Op.is_mem (Graph.node t.graph v).op then begin
+    Bytes.set t.occupied (occ_key t cand.pe cand.time) '\001';
+    if Op.is_mem (Graph.node (graph t) v).op then begin
       let key = mem_key t cand.pe cand.time in
-      let n = Option.value ~default:0 (Hashtbl.find_opt t.mem_use key) in
-      Hashtbl.replace t.mem_use key (n + 1)
+      t.mem_use.(key) <- t.mem_use.(key) + 1
     end;
     List.iter
       (fun (r : Mapping.route) ->
         List.iter
           (fun (h : Mapping.placement) ->
-            Hashtbl.replace t.occupied (occ_key t h.pe h.time) ())
+            Bytes.set t.occupied (occ_key t h.pe h.time) '\001')
           r.hops;
         t.routes <- r :: t.routes)
       routes;
-    (match page_of t cand.pe with
-    | Some pg -> t.max_page_used <- max t.max_page_used pg
-    | None -> ())
+    let pg = page_of_idx t cand.pe in
+    if pg >= 0 then t.max_page_used <- max t.max_page_used pg
 
   (* Modulo scheduling window of node [v] from its placed neighbours —
      data edges and memory ordering constraints alike. *)
@@ -273,7 +347,8 @@ module Attempt = struct
             match t.placements.(e.src) with
             | Some pu -> max acc (pu.time + 1 - (e.distance * t.ii))
             | None -> acc)
-        0 (Graph.preds t.graph v)
+        0
+        (Graph.preds (graph t) v)
     in
     let lo =
       List.fold_left
@@ -283,7 +358,7 @@ module Attempt = struct
             match t.placements.(o.src) with
             | Some pu -> max acc (pu.time + 1 - (o.distance * t.ii))
             | None -> acc)
-        lo t.ordering
+        lo t.prep.Prep.ordering
     in
     let hi =
       List.fold_left
@@ -291,7 +366,8 @@ module Attempt = struct
           match t.placements.(e.dst) with
           | Some pw -> min acc (pw.time - 1 + (e.distance * t.ii))
           | None -> acc)
-        max_int (Graph.succs t.graph v)
+        max_int
+        (Graph.succs (graph t) v)
     in
     let hi =
       List.fold_left
@@ -301,16 +377,35 @@ module Attempt = struct
             match t.placements.(o.dst) with
             | Some pw -> min acc (pw.time - 1 + (o.distance * t.ii))
             | None -> acc)
-        hi t.ordering
+        hi t.prep.Prep.ordering
     in
     (lo, min hi (lo + t.ii - 1))
 
-  let place_node t ~boundary v =
+  let place_node t v =
     let lo, hi = window t v in
     if hi < lo then false
     else begin
-      let pes = Array.of_list (candidate_pes t) in
+      let pes = candidate_pes t in
       Cgra_util.Rng.shuffle t.rng pes;
+      let preds =
+        List.filter_map
+          (fun (e : Graph.edge) ->
+            if is_const t e.src then None
+            else
+              match t.placements.(e.src) with
+              | Some pu -> Some (e, pu)
+              | None -> None)
+          (Graph.preds (graph t) v)
+      in
+      let succs =
+        List.filter_map
+          (fun (e : Graph.edge) ->
+            match t.placements.(e.dst) with
+            | Some pw -> Some (e, pw)
+            | None -> None)
+          (Graph.succs (graph t) v)
+      in
+      let v_is_mem = Op.is_mem (Graph.node (graph t) v).op in
       let rec try_time time =
         if time > hi then false
         else begin
@@ -318,11 +413,11 @@ module Attempt = struct
           Array.iter
             (fun pe ->
               let cand = { Mapping.pe; time } in
-              if base_free t pe time && mem_ok t v pe time then
-                match edges_feasible t v cand with
+              if base_free t pe time && mem_ok t ~v_is_mem pe time then
+                match edges_feasible t ~preds ~succs cand with
                 | None -> ()
                 | Some routes ->
-                    let c = cost t ~boundary v cand routes in
+                    let c = cost t v cand routes in
                     (match !best with
                     | Some (c0, _, _) when c0 <= c -> ()
                     | Some _ | None -> best := Some (c, cand, routes)))
@@ -338,92 +433,183 @@ module Attempt = struct
     end
 
   let run t =
-    let order =
-      let rank = Analysis.scc_topo_rank t.graph in
-      let h = Analysis.height t.graph in
-      let a = Analysis.asap t.graph in
-      List.sort
-        (fun v w ->
-          let c = Int.compare rank.(v) rank.(w) in
-          if c <> 0 then c
-          else
-            let c = Int.compare h.(w) h.(v) in
-            if c <> 0 then c
-            else
-              let c = Int.compare a.(v) a.(w) in
-              if c <> 0 then c else Int.compare v w)
-        (schedulable_nodes t.graph)
-    in
-    let boundary = boundary_pes t in
     let place v =
-      let ok = place_node t ~boundary v in
+      let ok = place_node t v in
       if not ok then
-        Log.debug (fun m ->
-            m "%s ii=%d: no slot for node %d (%s)" (Graph.name t.graph) t.ii v
-              (Op.to_string (Graph.node t.graph v).op));
+        t.debug (fun () ->
+            Printf.sprintf "%s ii=%d: no slot for node %d (%s)"
+              (Graph.name (graph t))
+              t.ii v
+              (Op.to_string (Graph.node (graph t) v).op));
       ok
     in
-    if List.for_all place order then
-      let m =
-        {
-          Mapping.arch = t.arch;
-          graph = t.graph;
-          ii = t.ii;
-          placements = t.placements;
-          routes = t.routes;
-          paged = (t.kind = Paged);
-        }
-      in
-      match Mapping.validate m with
-      | Ok () -> Some m
-      | Error es ->
-          Log.debug (fun m ->
-              m "%s ii=%d: validation failed: %s" (Graph.name t.graph) t.ii
-                (String.concat "; " es));
-          None
-    else None
+    let rec go = function
+      | [] ->
+          let m =
+            {
+              Mapping.arch = t.prep.Prep.arch;
+              graph = graph t;
+              ii = t.ii;
+              placements = t.placements;
+              routes = t.routes;
+              paged = (kind t = Paged);
+            }
+          in
+          (match Mapping.validate m with
+          | Ok () -> Some m
+          | Error es ->
+              t.debug (fun () ->
+                  Printf.sprintf "%s ii=%d: validation failed: %s"
+                    (Graph.name (graph t))
+                    t.ii (String.concat "; " es));
+              None)
+      | v :: rest ->
+          (* a raced attempt that can no longer win abandons its work;
+             its outcome is unobservable, so this cannot change results *)
+          if t.cancel () then None
+          else if place v then go rest
+          else None
+    in
+    go t.prep.Prep.order
 end
 
-let map ?(seed = 0) ?max_ii ?(attempts = 64) kind arch g =
+(* ----- the II / restart ladder --------------------------------------- *)
+
+let debug_sink msg = Log.debug (fun m -> m "%s" (msg ()))
+
+let map ?(seed = 0) ?max_ii ?(attempts = 64) ?pool
+    ?(trace = Cgra_trace.Trace.null) kind arch g =
   let start = mii kind arch g in
   let max_ii = Option.value ~default:(start + 40) max_ii in
-  let one_attempt ~ii ~a ~spread =
+  let prep = Prep.make kind arch g in
+  let launched = Atomic.make 0 in
+  let polish_runs = Atomic.make 0 in
+  let one_attempt ?cancel ?(debug = debug_sink) ~ii ~a ~spread () =
     let rng =
       Cgra_util.Rng.create ~seed:(((seed * 31) + (ii * 1009) + a) lxor 0x5bf03635)
     in
-    Attempt.run (Attempt.create ~spread kind arch g ii rng)
+    Attempt.run (Attempt.create ~spread ?cancel ~debug prep ii rng)
+  in
+  (* The (ii, attempt) ladder, in the deterministic priority order: the
+     winner is always the earliest candidate here that succeeds, whether
+     the ladder is walked sequentially or raced across the pool. *)
+  let candidates =
+    List.concat_map
+      (fun i -> List.init attempts (fun a -> (start + i, a)))
+      (List.init (max 0 (max_ii - start + 1)) Fun.id)
+  in
+  let n_candidates = List.length candidates in
+  (* Per-attempt diagnostics must read as if the ladder ran sequentially:
+     when racing, each attempt logs into its own buffer and the buffers
+     of every candidate at or before the winner are flushed in ladder
+     order afterwards (candidates past the winner are unreachable in a
+     sequential run, so their speculative diagnostics are dropped). *)
+  let debug_on =
+    match Logs.Src.level log_src with Some Logs.Debug -> true | _ -> false
+  in
+  let scan_sequential () =
+    let rec go = function
+      | [] -> None
+      | (ii, a) :: rest -> (
+          Atomic.incr launched;
+          match one_attempt ~ii ~a ~spread:(a mod 2 = 1) () with
+          | Some m -> Some ((ii, a), m)
+          | None -> go rest)
+    in
+    go candidates
+  in
+  let scan_raced p =
+    let bufs = Array.make (if debug_on then n_candidates else 0) [] in
+    let eval ~doomed (ii, a) =
+      Atomic.incr launched;
+      let logs = ref [] in
+      let debug =
+        if debug_on then fun msg -> logs := msg () :: !logs else debug_sink
+      in
+      let r = one_attempt ~cancel:doomed ~debug ~ii ~a ~spread:(a mod 2 = 1) () in
+      if debug_on then bufs.((ii - start) * attempts + a) <- List.rev !logs;
+      r
+    in
+    let res = Cgra_util.Pool.race_poll p eval candidates in
+    if debug_on then begin
+      let last =
+        match res with
+        | Some ((ii, a), _) -> ((ii - start) * attempts) + a
+        | None -> n_candidates - 1
+      in
+      for i = 0 to last do
+        List.iter (fun line -> Log.debug (fun m -> m "%s" line)) bufs.(i)
+      done
+    end;
+    res
   in
   (* Once the minimal feasible II is found, spend a few packing-personality
      attempts reducing the page footprint at that II: unused pages are
-     what the multithreading runtime harvests. *)
+     what the multithreading runtime harvests.  The fold keeps the
+     earliest of the fewest-page results, so the parallel run (which
+     always evaluates all eight) agrees with the sequential one (which
+     may stop early once a single page is reached — no attempt can beat
+     that). *)
   let polish_pages ii first =
-    let better best cand =
-      if Mapping.n_pages_used cand < Mapping.n_pages_used best then cand else best
-    in
-    let rec go best a =
-      if a >= 8 then best
-      else
-        match one_attempt ~ii ~a:(1000 + a) ~spread:false with
-        | Some m -> go (better best m) (a + 1)
-        | None -> go best (a + 1)
-    in
-    if kind = Paged then go first 0 else first
-  in
-  let rec try_ii ii =
-    if ii > max_ii then
-      Error
-        (Printf.sprintf "Scheduler.map: %s does not fit on %s within II %d"
-           (Graph.name g)
-           (Format.asprintf "%a" Cgra.pp arch)
-           max_ii)
-    else
-      let rec try_attempt a =
-        if a >= attempts then try_ii (ii + 1)
-        else
-          match one_attempt ~ii ~a ~spread:(a mod 2 = 1) with
-          | Some m -> Ok (polish_pages ii m)
-          | None -> try_attempt (a + 1)
+    if kind <> Paged then first
+    else begin
+      let run_one a =
+        Atomic.incr polish_runs;
+        one_attempt ~ii ~a:(1000 + a) ~spread:false ()
       in
-      try_attempt 0
+      let better best cand =
+        if Mapping.n_pages_used cand < Mapping.n_pages_used best then cand
+        else best
+      in
+      match pool with
+      | Some p when Cgra_util.Pool.width p > 1 ->
+          List.fold_left
+            (fun best -> function Some m -> better best m | None -> best)
+            first
+            (Cgra_util.Pool.map p run_one (List.init 8 Fun.id))
+      | Some _ | None ->
+          let rec go best a =
+            if a >= 8 || Mapping.n_pages_used best = 1 then best
+            else
+              match run_one a with
+              | Some m -> go (better best m) (a + 1)
+              | None -> go best (a + 1)
+          in
+          go first 0
+    end
   in
-  try_ii start
+  Cgra_trace.Trace.with_span trace "sched.race" (fun () ->
+      let res =
+        match pool with
+        | Some p when Cgra_util.Pool.width p > 1 -> scan_raced p
+        | Some _ | None -> scan_sequential ()
+      in
+      let res = Option.map (fun (w, m) -> (w, polish_pages (fst w) m)) res in
+      if Cgra_trace.Trace.enabled trace then begin
+        let l = Atomic.get launched in
+        let counter name value =
+          Cgra_trace.Trace.emit trace
+            (Cgra_trace.Trace.Counter { name; value = float_of_int value })
+        in
+        counter "sched.race.candidates" n_candidates;
+        counter "sched.race.launched" l;
+        counter "sched.race.cancelled" (n_candidates - l);
+        counter "sched.race.polish" (Atomic.get polish_runs);
+        Cgra_trace.Trace.emit trace
+          (Cgra_trace.Trace.Mark
+             {
+               name = "sched.race.winner";
+               detail =
+                 (match res with
+                 | Some ((ii, a), _) -> Printf.sprintf "ii=%d attempt=%d" ii a
+                 | None -> "none");
+             })
+      end;
+      match res with
+      | Some (_, m) -> Ok m
+      | None ->
+          Error
+            (Printf.sprintf "Scheduler.map: %s does not fit on %s within II %d"
+               (Graph.name g)
+               (Format.asprintf "%a" Cgra.pp arch)
+               max_ii))

@@ -24,6 +24,8 @@ val map :
   ?seed:int ->
   ?max_ii:int ->
   ?attempts:int ->
+  ?pool:Cgra_util.Pool.t ->
+  ?trace:Cgra_trace.Trace.t ->
   kind ->
   Cgra_arch.Cgra.t ->
   Cgra_dfg.Graph.t ->
@@ -31,7 +33,20 @@ val map :
 (** [map kind arch g] schedules [g].  Defaults: [seed 0], [attempts 64]
     restarts per II, [max_ii] = MII + 40.  [Error] only when every II up
     to [max_ii] fails — which the test-suite treats as a bug for the
-    bundled kernels. *)
+    bundled kernels.
+
+    [pool] races the (II, attempt) ladder speculatively across the
+    domain pool (see {!Cgra_util.Pool.race}): the winner is always the
+    {e lowest} [(ii, attempt)] pair that succeeds, and a success at II
+    [k] abandons in-flight work at II [> k].  The returned mapping — and
+    the [Error] text on failure — is bit-identical to the sequential
+    result at any pool width.  Per-attempt debug logging stays coherent:
+    raced attempts buffer their diagnostics, which are re-emitted in
+    ladder order up to the winner.
+
+    [trace] receives a ["sched.race"] span around the search plus
+    counters (candidates / launched / cancelled / polish) and a winner
+    mark. *)
 
 val mii : kind -> Cgra_arch.Cgra.t -> Cgra_dfg.Graph.t -> int
 (** The lower bound the search starts from ([Analysis.mii] with the

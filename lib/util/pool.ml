@@ -47,7 +47,14 @@ let rec worker t =
       worker t
 
 let create ?domains () =
-  let w = max 1 (Option.value ~default:(domains_from_env ()) domains) in
+  let requested = max 1 (Option.value ~default:(domains_from_env ()) domains) in
+  (* Clamp to the machine: domains beyond the core count cannot add
+     throughput, but every active domain joins each minor-GC handshake,
+     so oversubscribing cores turns each collection into a wait on
+     descheduled peers — a pure slowdown.  Results never depend on the
+     width (the determinism contract), so clamping is unobservable apart
+     from the wall clock. *)
+  let w = min requested (Domain.recommended_domain_count ()) in
   let t =
     {
       pool_width = w;
@@ -140,6 +147,61 @@ let map_array t f xs =
   end
 
 let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+(* Speculative race: evaluate candidates until the lowest-indexed success
+   is known.  [best] holds the lowest succeeding index found so far; a
+   candidate whose index is above it can no longer win, so it is skipped
+   at claim time and [doomed] lets a long-running task notice mid-flight.
+   Every index below the eventual winner is always fully evaluated (skips
+   only happen above a recorded success), which is what makes the result
+   deterministic. *)
+let race_poll t f xs =
+  match xs with
+  | [] -> None
+  | _ when t.pool_width <= 1 ->
+      (* lazy sequential fallback: nothing past the winner runs at all *)
+      let doomed () = false in
+      let rec go = function
+        | [] -> None
+        | x :: rest -> (
+            match f ~doomed x with Some y -> Some (x, y) | None -> go rest)
+      in
+      go xs
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let errs = Array.make n None in
+      let best = Atomic.make n in
+      let rec lower_best i =
+        let b = Atomic.get best in
+        if i < b && not (Atomic.compare_and_set best b i) then lower_best i
+      in
+      run_batch t n ~body:(fun i ->
+          if i < Atomic.get best then
+            let doomed () = i > Atomic.get best in
+            match f ~doomed arr.(i) with
+            | Some y ->
+                results.(i) <- Some y;
+                lower_best i
+            | None -> ()
+            | exception e -> errs.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+      (* Resolve in input order: the first success or failure met is the
+         one a sequential run would have met (later speculative outcomes
+         are unreachable sequentially and are discarded). *)
+      let rec resolve i =
+        if i >= n then None
+        else
+          match errs.(i) with
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> (
+              match results.(i) with
+              | Some y -> Some (arr.(i), y)
+              | None -> resolve (i + 1))
+      in
+      resolve 0
+
+let race t f xs = race_poll t (fun ~doomed:_ x -> f x) xs
 
 let filter_map t f xs = List.filter_map Fun.id (map t f xs)
 

@@ -34,10 +34,14 @@ val domains_from_env : unit -> int
 
 val create : ?domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] helper domains (none when
-    [domains <= 1]).  Default width: {!domains_from_env}. *)
+    [domains <= 1]).  Default width: {!domains_from_env}.  The requested
+    width is clamped to [Domain.recommended_domain_count ()]: domains
+    beyond the core count add minor-GC handshake stalls without adding
+    throughput, and results never depend on the width, so the clamp is
+    unobservable apart from the wall clock. *)
 
 val width : t -> int
-(** Total domains working a batch, caller included. *)
+(** Total domains working a batch, caller included (after clamping). *)
 
 val shutdown : t -> unit
 (** Stop and join the helper domains.  Idempotent.  Outstanding batches
@@ -55,6 +59,37 @@ val filter_map : t -> ('a -> 'b option) -> 'a list -> 'b list
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Array counterpart of [map]. *)
+
+val race : t -> ('a -> 'b option) -> 'a list -> ('a * 'b) option
+(** [race t f xs] evaluates [f] over [xs] speculatively across the pool
+    and returns [Some (x, y)] for the {e earliest} [x] in [xs] with
+    [f x = Some y] — exactly what a sequential first-success scan would
+    return, at any pool width:
+
+    - {b Deterministic winner}: a shared best-bound records the lowest
+      succeeding index; every candidate below it still runs to
+      completion (a lower index could still win), while candidates above
+      it are abandoned at claim time — they can no longer affect the
+      result.
+    - {b Exception propagation}: as in {!map}, the earliest failing
+      candidate's exception is re-raised — but only if no candidate
+      before it succeeded, mirroring a sequential scan that stops at the
+      first success.  Exceptions from speculative work past the winner
+      are discarded (a sequential run would never have reached them).
+    - {b Width-1 fallback}: with one domain the scan is lazy — nothing
+      past the winner is evaluated at all.
+
+    [f] runs speculatively on candidates a sequential scan might never
+    reach, so it must be effect-free (or idempotent) on losing
+    candidates. *)
+
+val race_poll :
+  t -> (doomed:(unit -> bool) -> 'a -> 'b option) -> 'a list -> ('a * 'b) option
+(** {!race}, with mid-flight cancellation: [f] receives a cheap [doomed]
+    poll that turns [true] once some earlier candidate has succeeded —
+    this candidate can no longer win, so [f] may abandon it and return
+    anything (the value is discarded).  [doomed] never turns [true] for
+    the eventual winner or any candidate before it. *)
 
 val parallel_map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: [with_pool ?domains (fun p -> map p f xs)]. *)

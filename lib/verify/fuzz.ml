@@ -57,7 +57,7 @@ let run ?(fabrics = default_fabrics) ?(iterations = 8) ?pool ~seeds () =
       }
     in
     let g = Cgra_kernels.Synthetic.generate ~seed cfg in
-    (match Scheduler.map ~seed Scheduler.Paged arch g with
+    (match Scheduler.map ~seed ?pool Scheduler.Paged arch g with
     | Error _ -> () (* a capacity miss, not an invariant failure *)
     | Ok m -> (
         incr mapped;

@@ -57,6 +57,40 @@ let test_mapping_deterministic () =
   Alcotest.(check int) "same ii" a.ii b.ii;
   Alcotest.(check bool) "same placements" true (a.placements = b.placements)
 
+let test_race_matches_sequential () =
+  (* the speculative (II, attempt) race must be bit-identical to the
+     sequential ladder at any pool width — same mapping on success, same
+     Error text on failure.  (The pool clamps to the machine's cores, so
+     on a single-core host this exercises the lazy fallback; on
+     multi-core hosts the same check covers the raced path.) *)
+  let arch = arch_4x4_p4 () in
+  Cgra_util.Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun (k : Cgra_kernels.Kernels.t) ->
+          List.iter
+            (fun (kind, tag) ->
+              let seq = map_ok kind arch k.graph in
+              match Scheduler.map ~pool kind arch k.graph with
+              | Error e -> Alcotest.failf "raced %s %s failed: %s" k.name tag e
+              | Ok raced ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s %s: raced = sequential" k.name tag)
+                    true
+                    ((seq.Mapping.ii, seq.placements, seq.routes, seq.paged)
+                    = (raced.Mapping.ii, raced.placements, raced.routes,
+                       raced.paged)))
+            [ (Scheduler.Unconstrained, "base"); (Scheduler.Paged, "paged") ])
+        Cgra_kernels.Kernels.all;
+      (* infeasible case: identical Error text, produced only after every
+         candidate up to max_ii is exhausted *)
+      let k = Cgra_kernels.Kernels.find_exn "sobel" in
+      match
+        ( Scheduler.map ~max_ii:1 Paged arch k.graph,
+          Scheduler.map ~max_ii:1 ~pool Paged arch k.graph )
+      with
+      | Error a, Error b -> Alcotest.(check string) "same error text" a b
+      | _ -> Alcotest.fail "expected Error from both ladders")
+
 let test_seed_changes_search () =
   let arch = arch_4x4_p4 () in
   let k = Cgra_kernels.Kernels.find_exn "sobel" in
@@ -428,6 +462,8 @@ let () =
           Alcotest.test_case "paged prefix pages" `Quick test_paged_uses_prefix_pages;
           Alcotest.test_case "paged packs pages" `Quick test_paged_packs_fewer_pages;
           Alcotest.test_case "deterministic" `Quick test_mapping_deterministic;
+          Alcotest.test_case "raced = sequential" `Quick
+            test_race_matches_sequential;
           Alcotest.test_case "seed variation" `Quick test_seed_changes_search;
           Alcotest.test_case "mii bounds" `Quick test_mii_lower_bounds;
           Alcotest.test_case "consts not placed" `Quick test_consts_not_placed;

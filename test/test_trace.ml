@@ -169,6 +169,26 @@ let test_meld_violation_golden () =
      {\"seq\":2,\"t\":0,\"kind\":\"span_end\",\"name\":\"meld.check\"}\n"
     (Export.jsonl (T.events trace))
 
+let test_sched_race_golden () =
+  (* the scheduler's race telemetry is byte-stable: the sequential ladder
+     for mpeg/paged on 4x4 launches exactly 65 of the 2624 candidates
+     before attempt (2,0) wins, cancelling the rest, then polishes 8× *)
+  let a = arch 4 4 in
+  let k = Cgra_kernels.Kernels.find_exn "mpeg" in
+  let trace = T.make () in
+  (match Cgra_mapper.Scheduler.map ~trace Cgra_mapper.Scheduler.Paged a k.graph with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "map: %s" e);
+  Alcotest.(check string) "golden race telemetry"
+    "{\"seq\":0,\"t\":0,\"kind\":\"span_begin\",\"name\":\"sched.race\"}\n\
+     {\"seq\":1,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.candidates\",\"value\":2624}\n\
+     {\"seq\":2,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.launched\",\"value\":65}\n\
+     {\"seq\":3,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.cancelled\",\"value\":2559}\n\
+     {\"seq\":4,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.polish\",\"value\":8}\n\
+     {\"seq\":5,\"t\":0,\"kind\":\"mark\",\"name\":\"sched.race.winner\",\"detail\":\"ii=2 attempt=0\"}\n\
+     {\"seq\":6,\"t\":0,\"kind\":\"span_end\",\"name\":\"sched.race\"}\n"
+    (Export.jsonl (T.events trace))
+
 let test_jsonl_lines_parse () =
   let _, events = traced_run ~seed:1 ~n_threads:8 ~need:0.875 ~mode:Os_sim.Multi () in
   List.iteri
@@ -333,6 +353,7 @@ let () =
           Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
           Alcotest.test_case "meld violation golden" `Quick
             test_meld_violation_golden;
+          Alcotest.test_case "sched race golden" `Quick test_sched_race_golden;
           Alcotest.test_case "jsonl lines parse" `Quick test_jsonl_lines_parse;
           Alcotest.test_case "chrome validates, >= 6 kinds" `Quick
             test_chrome_validates_with_kinds;

@@ -230,7 +230,10 @@ let test_pool_filter_map () =
 
 let test_pool_reusable () =
   Pool.with_pool ~domains:3 (fun p ->
-      Alcotest.(check int) "width" 3 (Pool.width p);
+      (* requested width, clamped to the machine's cores *)
+      Alcotest.(check int) "width"
+        (min 3 (Domain.recommended_domain_count ()))
+        (Pool.width p);
       let xs = List.init 64 Fun.id in
       Alcotest.(check (list int)) "first batch" (List.map succ xs)
         (Pool.map p succ xs);
@@ -253,6 +256,133 @@ let test_pool_shutdown_idempotent () =
 
 let test_pool_env_default () =
   Alcotest.(check bool) "width >= 1" true (Pool.domains_from_env () >= 1)
+
+(* burn deterministic CPU so slow/fast candidate orderings are real *)
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n * 1000 do
+    acc := !acc + (i * i)
+  done;
+  ignore !acc
+
+let test_race_deterministic_winner () =
+  (* adversarial ordering: the lower a candidate's index, the slower it
+     is, so higher-index successes finish first — the lowest succeeding
+     index must still win *)
+  let xs = List.init 16 Fun.id in
+  let f x =
+    spin (16 - x);
+    if x >= 3 then Some (x * 100) else None
+  in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          match Pool.race p f xs with
+          | Some (3, 300) -> ()
+          | Some (x, y) ->
+              Alcotest.failf "winner (%d, %d) at %d domains, wanted (3, 300)" x y
+                domains
+          | None -> Alcotest.failf "no winner at %d domains" domains))
+    [ 1; 2; 4 ]
+
+let test_race_cancellation_skips () =
+  (* an instant success at index 0 dooms everything behind it: at most
+     the candidates already in flight ever run *)
+  let n = 200 in
+  let evaluated = Atomic.make 0 in
+  let f x =
+    Atomic.incr evaluated;
+    if x = 0 then Some () else (spin 5; None)
+  in
+  Pool.with_pool ~domains:4 (fun p ->
+      match Pool.race p f (List.init n Fun.id) with
+      | Some (0, ()) ->
+          let e = Atomic.get evaluated in
+          Alcotest.(check bool)
+            (Printf.sprintf "doomed candidates skipped (%d of %d ran)" e n)
+            true (e < n)
+      | Some (x, ()) -> Alcotest.failf "wrong winner %d" x
+      | None -> Alcotest.fail "no winner")
+
+let test_race_mid_flight_doomed () =
+  (* a long-running loser observes [doomed] turning true once the winner
+     (index 0) lands, and can abandon its work *)
+  let aborted = Atomic.make 0 in
+  let f ~doomed x =
+    if x = 0 then Some ()
+    else begin
+      let gave_up = ref false in
+      (try
+         for _ = 1 to 10_000 do
+           spin 1;
+           if doomed () then raise Exit
+         done
+       with Exit -> gave_up := true);
+      if !gave_up then Atomic.incr aborted;
+      None
+    end
+  in
+  Pool.with_pool ~domains:4 (fun p ->
+      match Pool.race_poll p f (List.init 8 Fun.id) with
+      | Some (0, ()) -> ()
+      | Some (x, ()) -> Alcotest.failf "wrong winner %d" x
+      | None -> Alcotest.fail "no winner")
+
+let test_race_exception_semantics () =
+  let xs = List.init 100 Fun.id in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          (* failure before any success: the earliest failure propagates,
+             as in Pool.map *)
+          (match
+             Pool.race p (fun x -> if x = 10 then failwith "boom" else None) xs
+           with
+          | _ -> Alcotest.failf "no exception at %d domains" domains
+          | exception Failure msg ->
+              Alcotest.(check string)
+                (Printf.sprintf "earliest failure at %d domains" domains)
+                "boom" msg);
+          (* success before the failure: the winner is returned and the
+             speculative failure is discarded *)
+          match
+            Pool.race p
+              (fun x ->
+                if x = 50 then failwith "late"
+                else if x = 10 then Some x
+                else None)
+              xs
+          with
+          | Some (10, 10) -> ()
+          | Some (x, _) -> Alcotest.failf "wrong winner %d at %d domains" x domains
+          | None -> Alcotest.failf "no winner at %d domains" domains
+          | exception Failure _ ->
+              Alcotest.failf "failure past the winner leaked at %d domains" domains))
+    [ 1; 4 ]
+
+let test_race_width1_lazy () =
+  (* sequential fallback: evaluation stops at the winner *)
+  let evaluated = ref 0 in
+  let f x =
+    incr evaluated;
+    if x = 5 then Some x else None
+  in
+  Pool.with_pool ~domains:1 (fun p ->
+      match Pool.race p f (List.init 100 Fun.id) with
+      | Some (5, 5) -> check_int "nothing past the winner runs" 6 !evaluated
+      | _ -> Alcotest.fail "wrong outcome")
+
+let test_race_no_winner () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          Alcotest.(check bool)
+            "all-fail race is None" true
+            (Pool.race p (fun _ -> None) (List.init 40 Fun.id) = None);
+          Alcotest.(check bool)
+            "empty race is None" true
+            (Pool.race p (fun x -> Some x) [] = None)))
+    [ 1; 4 ]
 
 (* ---------- Table ---------- *)
 
@@ -322,6 +452,17 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick
             test_pool_shutdown_idempotent;
           Alcotest.test_case "env default" `Quick test_pool_env_default;
+          Alcotest.test_case "race: deterministic winner" `Quick
+            test_race_deterministic_winner;
+          Alcotest.test_case "race: cancellation skips doomed" `Quick
+            test_race_cancellation_skips;
+          Alcotest.test_case "race: mid-flight doomed poll" `Quick
+            test_race_mid_flight_doomed;
+          Alcotest.test_case "race: exception semantics" `Quick
+            test_race_exception_semantics;
+          Alcotest.test_case "race: width-1 lazy fallback" `Quick
+            test_race_width1_lazy;
+          Alcotest.test_case "race: no winner" `Quick test_race_no_winner;
         ] );
       ( "table",
         [
