@@ -1,4 +1,8 @@
-.PHONY: all test fmt smoke ci clean bench-json fuzz-deep
+.PHONY: all test fmt smoke ci clean bench-json fuzz-deep cache-clean
+
+# Default on-disk binary store used by `cgra_tool compile/cache --cache`
+# unless a different directory is passed.
+CGRA_CACHE ?= .cgra-cache
 
 all:
 	dune build
@@ -35,6 +39,13 @@ bench-json:
 fuzz-deep:
 	dune build bin/cgra_tool.exe
 	CGRA_DOMAINS=$$(nproc) dune exec bin/cgra_tool.exe -- verify --fuzz 10000 --meld-fuzz 10000
+
+# Drop stale/corrupt artifacts from the binary store, then report what
+# survives.  `rm -rf $(CGRA_CACHE)` is the nuclear version.
+cache-clean:
+	dune build bin/cgra_tool.exe
+	dune exec bin/cgra_tool.exe -- cache gc --cache $(CGRA_CACHE)
+	dune exec bin/cgra_tool.exe -- cache stats --cache $(CGRA_CACHE)
 
 clean:
 	dune clean

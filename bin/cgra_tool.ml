@@ -476,6 +476,119 @@ let cmd_encode =
       const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ target
       $ domains_arg)
 
+(* ----- compile / cache ----- *)
+
+let cache_arg =
+  let doc =
+    "Directory of the persistent binary store.  Compiled kernels are \
+     content-addressed by (format version, canonical arch fingerprint, kernel \
+     digest, seed); warm artifacts turn compilation into a disk read, and \
+     corrupt or version-stale artifacts fall back to recompilation."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let cmd_compile =
+  let run kernel size page_pes seed cache_dir domains =
+    let arch = or_die (arch_of ~size ~page_pes) in
+    let store = Option.map Cgra_store.open_ cache_dir in
+    Option.iter Cgra_store.install store;
+    Fun.protect
+      ~finally:(fun () -> if store <> None then Cgra_store.uninstall ())
+      (fun () ->
+        let binaries =
+          Cgra_util.Pool.with_pool ?domains (fun pool ->
+              match kernel with
+              | Some name ->
+                  let k = or_die (kernel_of name) in
+                  or_die (Result.map (fun b -> [ b ]) (Binary.compile ~seed ~pool arch k))
+              | None -> or_die (Binary.compile_suite ~seed ~pool arch))
+        in
+        (* stdout carries only the deterministic compile results, so a
+           cold and a warm run byte-compare (the @smoke rule does) *)
+        List.iter
+          (fun (b : Binary.t) ->
+            Printf.printf "%-10s II_b=%2d  II_c=%2d  pages=%d\n" b.Binary.name
+              (Binary.ii_base b) (Binary.ii_paged b) (Binary.pages_used b))
+          binaries;
+        match store with
+        | None -> ()
+        | Some s ->
+            let c = Cgra_store.counters s in
+            Printf.eprintf
+              "cache %s: %d disk hits, %d compiles, %d stored, %d rejected\n"
+              (Cgra_store.dir s) c.Cgra_store.load_hits
+              (Binary.stats ()).Binary.compiles c.Cgra_store.saves
+              c.Cgra_store.rejects)
+  in
+  let kernel =
+    let doc = "Kernel to compile (default: the whole suite)." in
+    Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~docv:"NAME" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile a kernel (or the whole suite) to its base/paged binary pair, \
+          optionally through the persistent binary store: warm artifacts load \
+          from disk without running the scheduler.")
+    Term.(
+      const run $ kernel $ size_arg $ page_arg $ seed_arg $ cache_arg $ domains_arg)
+
+let cmd_cache =
+  let run action dir =
+    let s = Cgra_store.open_ dir in
+    match action with
+    | `Stats ->
+        let st = Cgra_store.stats s in
+        Printf.printf
+          "store %s: %d artifacts, %d bytes (%d intact, %d stale-version, %d \
+           corrupt)\n"
+          (Cgra_store.dir s) st.Cgra_store.artifacts st.Cgra_store.bytes
+          st.Cgra_store.intact st.Cgra_store.stale st.Cgra_store.corrupt
+    | `Verify -> (
+        let bad =
+          List.filter_map
+            (fun (rel, status) ->
+              match status with
+              | Cgra_store.Intact -> None
+              | Cgra_store.Stale_version v ->
+                  Some (Printf.sprintf "%s: stale format version %d" rel v)
+              | Cgra_store.Corrupt e -> Some (Printf.sprintf "%s: %s" rel e))
+            (Cgra_store.scan s)
+        in
+        match bad with
+        | [] ->
+            Printf.printf "verify: all %d artifacts intact\n"
+              (Cgra_store.stats s).Cgra_store.artifacts
+        | problems ->
+            List.iter (fun p -> print_endline ("BAD ARTIFACT " ^ p)) problems;
+            exit 1)
+    | `Gc ->
+        let removed, freed = Cgra_store.gc s in
+        Printf.printf "gc: removed %d artifacts (%d bytes)\n" removed freed
+  in
+  let action =
+    let doc =
+      "$(b,stats) (artifact and byte counts), $(b,verify) (re-check every \
+       artifact's framing, payload digest, and content address; non-zero exit \
+       on any bad artifact), or $(b,gc) (delete corrupt and version-stale \
+       artifacts)."
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("verify", `Verify); ("gc", `Gc) ])) None
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR" ~doc:"Store directory.")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Inspect, verify, or garbage-collect a persistent binary store.")
+    Term.(const run $ action $ dir)
+
 (* ----- verify ----- *)
 
 let cmd_verify =
@@ -643,23 +756,25 @@ let cmd_fig9 =
           (fun f ->
             print_endline (Experiments.render_fig9 f);
             print_newline ())
-          (Experiments.fig9_all ~seed ~replicates ~pool ~size ()));
-    match trace_out with
-    | None -> ()
-    | Some path ->
-        (* one representative run of the figure's most contended point:
-           16 threads wanting the CGRA 87.5% of the time, Multi mode *)
-        let arch = or_die (arch_of ~size ~page_pes:4) in
-        let suite = or_die (Binary.compile_suite ~seed arch) in
-        let total_pages = Cgra.n_pages arch in
-        let threads =
-          Workload.generate ~seed ~n_threads:16 ~cgra_need:0.875 ~suite ()
-        in
-        let trace = Cgra_trace.Trace.make () in
-        ignore
-          (Os_sim.run ~trace
-             { Os_sim.suite; threads; total_pages; mode = Os_sim.Multi });
-        export_trace ~format ~path (Cgra_trace.Trace.events trace)
+          (Experiments.fig9_all ~seed ~replicates ~pool ~size ());
+        match trace_out with
+        | None -> ()
+        | Some path ->
+            (* one representative run of the figure's most contended point:
+               16 threads wanting the CGRA 87.5% of the time, Multi mode —
+               compiled through the same pool as the sweep, so -j means
+               the same thing here as in map/simulate/trace *)
+            let arch = or_die (arch_of ~size ~page_pes:4) in
+            let suite = or_die (Binary.compile_suite ~seed ~pool arch) in
+            let total_pages = Cgra.n_pages arch in
+            let threads =
+              Workload.generate ~seed ~n_threads:16 ~cgra_need:0.875 ~suite ()
+            in
+            let trace = Cgra_trace.Trace.make () in
+            ignore
+              (Os_sim.run ~trace
+                 { Os_sim.suite; threads; total_pages; mode = Os_sim.Multi });
+            export_trace ~format ~path (Cgra_trace.Trace.events trace))
   in
   let replicates =
     Arg.(
@@ -690,5 +805,6 @@ let () =
        (Cmd.group info
           [
             cmd_kernels; cmd_map; cmd_shrink; cmd_simulate; cmd_trace; cmd_encode;
-            cmd_greedy; cmd_verify; cmd_dot; cmd_fig8; cmd_fig9;
+            cmd_compile; cmd_cache; cmd_greedy; cmd_verify; cmd_dot; cmd_fig8;
+            cmd_fig9;
           ]))

@@ -25,3 +25,17 @@ let pe_count t = Grid.pe_count t.grid
 let pp ppf t =
   Format.fprintf ppf "CGRA %a rf=%d memports/row=%d" Page.pp t.pages t.rf_capacity
     t.mem_ports_per_row
+
+(* The canonical identity is deliberately not [pp]: pretty-printers are
+   free to re-wrap or re-word, while this string is a pinned contract
+   (golden-tested) that persistent cache keys are derived from.  Bump the
+   leading version if the encoding ever has to change shape. *)
+let fingerprint t =
+  let shape =
+    match t.pages.Page.shape with
+    | Page.Rect { tile_rows; tile_cols } ->
+        Printf.sprintf "rect:%d,%d" tile_rows tile_cols
+    | Page.Band { size } -> Printf.sprintf "band:%d" size
+  in
+  Printf.sprintf "cgra-v1;grid=%d,%d;pages=%s;rf=%d;memports=%d"
+    t.grid.Grid.rows t.grid.Grid.cols shape t.rf_capacity t.mem_ports_per_row

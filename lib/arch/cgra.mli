@@ -29,3 +29,11 @@ val n_pages : t -> int
 val pe_count : t -> int
 
 val pp : Format.formatter -> t -> unit
+
+val fingerprint : t -> string
+(** Canonical field-by-field identity of the architecture, e.g.
+    ["cgra-v1;grid=4,4;pages=rect:2,2;rf=16;memports=2"].  Unlike {!pp}
+    (whose wording and line-wrapping are free to change), this string is
+    a pinned, golden-tested contract: compile caches and the on-disk
+    binary store derive their keys from it, so its shape may only change
+    together with the leading version tag. *)

@@ -19,22 +19,53 @@ let iteration_cycles t ~pages =
 
 (* ----- compile cache ----- *)
 
-(* [Cgra.pp] renders every field of the architecture record (grid, page
-   shape and count, register capacity, memory ports), so its output is a
-   complete fingerprint; the kernel name suffices for the kernel because
-   the bundled suite is a fixed set of named graphs. *)
-let fingerprint arch = Format.asprintf "%a" Cgra_arch.Cgra.pp arch
+(* The canonical field-by-field arch encoding, NOT [Cgra.pp]: the pretty
+   printer's wording and line wrapping are free to drift, while cache
+   keys — in-memory and, through [Cgra_store], on disk — must not.  The
+   kernel name suffices for the in-memory tier because the bundled suite
+   is a fixed set of named graphs; the disk tier additionally keys on a
+   digest of the graph structure. *)
+let fingerprint arch = Cgra_arch.Cgra.fingerprint arch
+
+type store_tier = {
+  tier_load : seed:int -> Cgra_arch.Cgra.t -> Cgra_kernels.Kernels.t -> t option;
+  tier_save : seed:int -> Cgra_arch.Cgra.t -> Cgra_kernels.Kernels.t -> t -> unit;
+}
+
+type stats = { mem_hits : int; disk_hits : int; compiles : int; stores : int }
 
 let cache : (string * string * int, (t, string) result) Hashtbl.t =
   Hashtbl.create 64
 
 let cache_lock = Mutex.create ()
 
-let hits = Atomic.make 0
+let store : store_tier option Atomic.t = Atomic.make None
 
-let misses = Atomic.make 0
+let set_store t = Atomic.set store t
 
-let cache_stats () = (Atomic.get hits, Atomic.get misses)
+let mem_hits = Atomic.make 0
+
+let disk_hits = Atomic.make 0
+
+let compiles = Atomic.make 0
+
+let stores = Atomic.make 0
+
+let stats () =
+  {
+    mem_hits = Atomic.get mem_hits;
+    disk_hits = Atomic.get disk_hits;
+    compiles = Atomic.get compiles;
+    stores = Atomic.get stores;
+  }
+
+let cache_stats () = (Atomic.get mem_hits + Atomic.get disk_hits, Atomic.get compiles)
+
+let reset_stats () =
+  Atomic.set mem_hits 0;
+  Atomic.set disk_hits 0;
+  Atomic.set compiles 0;
+  Atomic.set stores 0
 
 let clear_cache () =
   Mutex.lock cache_lock;
@@ -49,6 +80,14 @@ let compile_uncached ~seed ?pool ?trace arch (k : Cgra_kernels.Kernels.t) =
       | Error e -> Error e
       | Ok paged -> Ok { name = k.name; graph = k.graph; base; paged })
 
+let memoize key r =
+  Mutex.lock cache_lock;
+  Hashtbl.replace cache key r;
+  Mutex.unlock cache_lock
+
+let tcount trace name =
+  match trace with Some tr -> Cgra_trace.Trace.count tr name 1.0 | None -> ()
+
 let compile ?(seed = 0) ?pool ?trace arch (k : Cgra_kernels.Kernels.t) =
   let key = (fingerprint arch, k.name, seed) in
   let cached =
@@ -59,39 +98,54 @@ let compile ?(seed = 0) ?pool ?trace arch (k : Cgra_kernels.Kernels.t) =
   in
   match cached with
   | Some r ->
-      Atomic.incr hits;
+      Atomic.incr mem_hits;
+      tcount trace "binary.cache.mem_hit";
       r
-  | None ->
-      (* compiled outside the lock: two domains may briefly duplicate the
-         same compile, but the result is deterministic so either copy is
-         interchangeable.  The pool width is deliberately absent from the
-         cache key — raced and sequential compiles are bit-identical
-         (Scheduler.map's determinism contract), so they memoize to the
-         same entry. *)
-      Atomic.incr misses;
-      let r = compile_uncached ~seed ?pool ?trace arch k in
-      Mutex.lock cache_lock;
-      Hashtbl.replace cache key r;
-      Mutex.unlock cache_lock;
-      r
+  | None -> (
+      (* Both slow tiers run outside the lock: two domains may briefly
+         duplicate a disk load or a compile, but the result is
+         deterministic per key so either copy is interchangeable.  The
+         pool width is deliberately absent from the cache key — raced and
+         sequential compiles are bit-identical (Scheduler.map's
+         determinism contract), so they memoize to the same entry. *)
+      let disk =
+        match Atomic.get store with
+        | None -> None
+        | Some tier -> tier.tier_load ~seed arch k
+      in
+      match disk with
+      | Some b ->
+          Atomic.incr disk_hits;
+          tcount trace "binary.cache.disk_hit";
+          let r = Ok b in
+          memoize key r;
+          r
+      | None ->
+          Atomic.incr compiles;
+          tcount trace "binary.cache.compile";
+          let r = compile_uncached ~seed ?pool ?trace arch k in
+          (match (r, Atomic.get store) with
+          | Ok b, Some tier ->
+              tier.tier_save ~seed arch k b;
+              Atomic.incr stores;
+              tcount trace "binary.cache.store"
+          | Ok _, None | Error _, _ -> ());
+          memoize key r;
+          r)
 
 let compile_suite ?(seed = 0) ?pool ?trace arch =
-  let compiled =
-    match pool with
-    | Some p ->
-        (* One kernel at a time, each racing its scheduling ladder across
-           the whole pool: ladder attempts have near-uniform cost, so
-           racing them load-balances better than one-kernel-per-domain
-           (kernel compile times vary by an order of magnitude). *)
-        List.map (compile ~seed ~pool:p ?trace arch) Cgra_kernels.Kernels.all
-    | None -> List.map (compile ~seed ?trace arch) Cgra_kernels.Kernels.all
+  (* One kernel at a time — with [pool], each kernel races its scheduling
+     ladder across the whole pool: ladder attempts have near-uniform
+     cost, so racing them load-balances better than one-kernel-per-domain
+     (kernel compile times vary by an order of magnitude).  The walk
+     short-circuits on the first [Error], so a failing early kernel does
+     not pay for compiling the rest of the suite; the reported error —
+     the first in suite order — is unchanged. *)
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | k :: rest -> (
+        match compile ~seed ?pool ?trace arch k with
+        | Error _ as e -> e
+        | Ok b -> go (b :: acc) rest)
   in
-  (* first failure wins, in suite order, as the sequential fold did *)
-  List.fold_left
-    (fun acc r ->
-      match (acc, r) with
-      | (Error _ as e), _ -> e
-      | Ok done_, Ok b -> Ok (b :: done_)
-      | Ok _, Error e -> Error e)
-    (Ok []) compiled
-  |> Result.map List.rev
+  go [] Cgra_kernels.Kernels.all

@@ -135,6 +135,49 @@ let test_config_disassembly () =
   let s = Format.asprintf "%a" Config.pp img in
   Alcotest.(check bool) "mentions PEs" true (String.length s > 50)
 
+(* context images survive the wire codec byte-for-byte, and the decoded
+   image drives the executor to the same result as the original *)
+let test_config_codec_roundtrip () =
+  List.iter
+    (fun (k : Cgra_kernels.Kernels.t) ->
+      let m = map_ok Paged (arch 4 4) k.graph in
+      let img = Result.get_ok (Config.encode m) in
+      let bytes = Codec.config_bytes img in
+      match Codec.config_of_bytes bytes with
+      | Error e -> Alcotest.failf "%s decode: %s" k.name e
+      | Ok img' ->
+          Alcotest.(check bool)
+            (k.name ^ " re-encode is byte-identical")
+            true
+            (Codec.config_bytes img' = bytes);
+          let mem = Cgra_kernels.Kernels.init_memory k in
+          let mem' = Cgra_dfg.Memory.copy mem in
+          let rep = Exec_image.run img mem ~iterations:8 in
+          let rep' = Exec_image.run img' mem' ~iterations:8 in
+          Alcotest.(check bool) (k.name ^ " same report") true (rep = rep');
+          Alcotest.(check bool)
+            (k.name ^ " same memory")
+            true
+            (Cgra_dfg.Memory.diff mem mem' = []))
+    Cgra_kernels.Kernels.all
+
+let test_config_codec_rejects_garbage () =
+  let k = Cgra_kernels.Kernels.find_exn "sor" in
+  let m = map_ok Paged (arch 4 4) k.graph in
+  let good = Codec.config_bytes (Result.get_ok (Config.encode m)) in
+  List.iter
+    (fun bytes ->
+      match Codec.config_of_bytes bytes with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decoded %d hostile bytes" (String.length bytes))
+    [
+      "";
+      "\001";
+      String.sub good 0 (String.length good / 3);
+      String.sub good 0 (String.length good - 1);
+      good ^ "\000";
+    ]
+
 (* ---------- Exec_image: the decoder machine vs the oracle ---------- *)
 
 let test_image_runs_suite kind () =
@@ -220,6 +263,10 @@ let () =
         [
           Alcotest.test_case "encode suite" `Quick test_config_encode_suite;
           Alcotest.test_case "disassembly" `Quick test_config_disassembly;
+          Alcotest.test_case "wire codec roundtrip" `Quick
+            test_config_codec_roundtrip;
+          Alcotest.test_case "wire codec rejects garbage" `Quick
+            test_config_codec_rejects_garbage;
         ] );
       ( "exec-image",
         [
