@@ -1,4 +1,4 @@
-.PHONY: all test fmt smoke ci clean bench-json fuzz-deep cache-clean
+.PHONY: all test fmt smoke ci clean bench-json bench-gate profile fuzz-deep cache-clean
 
 # Default on-disk binary store used by `cgra_tool compile/cache --cache`
 # unless a different directory is passed.
@@ -33,6 +33,22 @@ bench-json:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- micro --json
 	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- fig9 --json
+
+# Re-measure the micro and fig9 benches and compare every row against
+# the committed baselines with per-row tolerances; non-zero exit on any
+# regression.  `gate --check` (run by @smoke) only re-validates the
+# committed files against themselves.
+bench-gate:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- gate
+
+# A profiled 16-thread Multi-mode run on the default 4x4: occupancy heatmap,
+# row-bus contention, stall attribution, reshape accounting, latency
+# quantiles.  Pass a JSONL trace through cgra_tool directly for
+# post-hoc analysis: `cgra_tool profile trace.jsonl [--json]`.
+profile:
+	dune build bin/cgra_tool.exe
+	dune exec bin/cgra_tool.exe -- profile --mode multi --threads 16
 
 # Long fuzz across all cores: the corpus that caught the absolute-page
 # indexing bugs, two orders of magnitude deeper than the @smoke run.

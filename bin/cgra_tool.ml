@@ -284,6 +284,38 @@ let cmd_simulate =
 
 (* ----- trace ----- *)
 
+(* ----- OS-run arguments (shared by trace and profile) ----- *)
+
+let mode_arg =
+  let doc = "OS mode: $(b,single) (baseline) or $(b,multi) (the paper's system)." in
+  Arg.(
+    value
+    & opt (enum [ ("single", Os_sim.Single); ("multi", Os_sim.Multi) ]) Os_sim.Multi
+    & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N" ~doc:"Thread count.")
+
+let need_arg =
+  Arg.(
+    value & opt float 0.875
+    & info [ "need" ] ~docv:"F" ~doc:"Fraction of time each thread wants the CGRA.")
+
+let policy_arg =
+  let doc = "Contention policy: $(b,halving) (the paper's) or $(b,repack)." in
+  Arg.(
+    value
+    & opt
+        (enum [ ("halving", Allocator.Halving); ("repack", Allocator.Repack_equal) ])
+        Allocator.Halving
+    & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let reconfig_cost_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "reconfig-cost" ] ~docv:"CYCLES"
+        ~doc:"Cycles of stalled progress charged per PageMaster reshape.")
+
 let cmd_trace =
   let run size page_pes seed mode threads need policy reconfig_cost out format
       domains =
@@ -332,36 +364,6 @@ let cmd_trace =
         exit 1);
     export_trace ~format ~path:out events
   in
-  let mode =
-    let doc = "OS mode: $(b,single) (baseline) or $(b,multi) (the paper's system)." in
-    Arg.(
-      value
-      & opt (enum [ ("single", Os_sim.Single); ("multi", Os_sim.Multi) ]) Os_sim.Multi
-      & info [ "mode" ] ~docv:"MODE" ~doc)
-  in
-  let threads =
-    Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N" ~doc:"Thread count.")
-  in
-  let need =
-    Arg.(
-      value & opt float 0.875
-      & info [ "need" ] ~docv:"F" ~doc:"Fraction of time each thread wants the CGRA.")
-  in
-  let policy =
-    let doc = "Contention policy: $(b,halving) (the paper's) or $(b,repack)." in
-    Arg.(
-      value
-      & opt
-          (enum [ ("halving", Allocator.Halving); ("repack", Allocator.Repack_equal) ])
-          Allocator.Halving
-      & info [ "policy" ] ~docv:"POLICY" ~doc)
-  in
-  let reconfig_cost =
-    Arg.(
-      value & opt float 0.0
-      & info [ "reconfig-cost" ] ~docv:"CYCLES"
-          ~doc:"Cycles of stalled progress charged per PageMaster reshape.")
-  in
   let out =
     Arg.(
       value & opt string "trace.json"
@@ -374,8 +376,95 @@ let cmd_trace =
           complete witness (replay + invariant monitor), and export it as a \
           Chrome/Perfetto trace or JSONL.")
     Term.(
-      const run $ size_arg $ page_arg $ seed_arg $ mode $ threads $ need $ policy
-      $ reconfig_cost $ out $ format_arg $ domains_arg)
+      const run $ size_arg $ page_arg $ seed_arg $ mode_arg $ threads_arg
+      $ need_arg $ policy_arg $ reconfig_cost_arg $ out $ format_arg
+      $ domains_arg)
+
+(* ----- profile ----- *)
+
+let cmd_profile =
+  let run file json out size page_pes seed mode threads need policy
+      reconfig_cost domains =
+    let events =
+      match file with
+      | Some path ->
+          (* post-hoc: analyze an archived JSONL trace; the stream is
+             self-describing (geometry in run_begin), so no arch flags *)
+          let data =
+            try In_channel.with_open_bin path In_channel.input_all
+            with Sys_error e -> or_die (Error e)
+          in
+          or_die (Cgra_trace.Export.of_jsonl data)
+      | None ->
+          (* live: one traced OS run, same knobs as the trace command *)
+          let arch = or_die (arch_of ~size ~page_pes) in
+          if threads < 1 then or_die (Error "--threads must be positive");
+          if need <= 0.0 || need >= 1.0 then
+            or_die (Error "--need must be in (0, 1)");
+          if reconfig_cost < 0.0 then
+            or_die (Error "--reconfig-cost must be >= 0");
+          let suite =
+            Cgra_util.Pool.with_pool ?domains (fun pool ->
+                or_die (Binary.compile_suite ~seed ~pool arch))
+          in
+          let total_pages = Cgra.n_pages arch in
+          let workload =
+            Workload.generate ~seed ~n_threads:threads ~cgra_need:need ~suite ()
+          in
+          let trace = Cgra_trace.Trace.make () in
+          ignore
+            (Os_sim.run ~policy ~reconfig_cost ~trace
+               { Os_sim.suite; threads = workload; total_pages; mode });
+          Cgra_trace.Trace.events trace
+    in
+    let report = or_die (Cgra_prof.Analyze.profile events) in
+    let doc =
+      if json then begin
+        let s = Cgra_prof.Render.json_string report in
+        (match Cgra_trace.Json.parse s with
+        | Ok _ -> ()
+        | Error e -> or_die (Error ("emitted profile JSON is invalid: " ^ e)));
+        s
+      end
+      else Cgra_prof.Render.text report
+    in
+    match out with
+    | None -> print_string doc
+    | Some path ->
+        write_file path doc;
+        Printf.printf "wrote %s\n" path
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:
+            "JSONL trace to analyze post-hoc.  Omitted: run the OS simulator \
+             live with the flags below and profile that run.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the machine-readable report (stable, sorted keys).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the report to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile an OS run: per-resident page-occupancy heatmap, row-bus \
+          contention, per-thread stall attribution (queueing vs. reshape vs. \
+          execution), reshape accounting, and segment-latency quantiles.  \
+          Works post-hoc on a JSONL trace or live on a fresh simulated run.")
+    Term.(
+      const run $ file $ json $ out $ size_arg $ page_arg $ seed_arg $ mode_arg
+      $ threads_arg $ need_arg $ policy_arg $ reconfig_cost_arg $ domains_arg)
 
 (* ----- greedy ----- *)
 
@@ -804,7 +893,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            cmd_kernels; cmd_map; cmd_shrink; cmd_simulate; cmd_trace; cmd_encode;
-            cmd_compile; cmd_cache; cmd_greedy; cmd_verify; cmd_dot; cmd_fig8;
-            cmd_fig9;
+            cmd_kernels; cmd_map; cmd_shrink; cmd_simulate; cmd_trace;
+            cmd_profile; cmd_encode; cmd_compile; cmd_cache; cmd_greedy;
+            cmd_verify; cmd_dot; cmd_fig8; cmd_fig9;
           ]))

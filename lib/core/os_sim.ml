@@ -66,7 +66,17 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
   let by_id = Hashtbl.create 16 in
   List.iter (fun t -> Hashtbl.replace by_id t.id t) threads;
   let alloc = Allocator.create ~policy ~trace ~total_pages:p.total_pages () in
-  if tracing then
+  if tracing then begin
+    (* fabric geometry, so post-hoc analyzers (row-bus contention) need no
+       arch arguments: every binary in a suite shares one fabric *)
+    let rows, mem_ports =
+      match p.suite with
+      | [] -> (0, 0)
+      | b :: _ ->
+          let a = b.Binary.paged.Cgra_mapper.Mapping.arch in
+          (a.Cgra_arch.Cgra.grid.Cgra_arch.Grid.rows,
+           a.Cgra_arch.Cgra.mem_ports_per_row)
+    in
     T.emit_at trace ~time:0.0
       (T.Run_begin
          {
@@ -78,7 +88,10 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
              | Allocator.Halving -> "halving"
              | Allocator.Repack_equal -> "repack_equal");
            reconfig_cost;
-         });
+           rows;
+           mem_ports;
+         })
+  end;
   let waiters : int Queue.t = Queue.create () in
   let running_kernel : (int, Binary.t) Hashtbl.t = Hashtbl.create 16 in
   let cgra_busy_single = ref false in
@@ -124,6 +137,7 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
             match Allocator.allocation alloc ~client:t.id with
             | Some r when r.Allocator.len <> k.pages || r.Allocator.base <> k.base ->
                 settle now t;
+                let rate = rate_for t.id r.Allocator.len in
                 if tracing then begin
                   let before = { T.base = k.base; len = k.pages } in
                   let after = { T.base = r.Allocator.base; len = r.Allocator.len } in
@@ -142,11 +156,12 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
                          after;
                          pages_rewritten = after.T.len;
                          cost = reconfig_cost;
+                         rate;
                        })
                 end;
                 k.pages <- r.Allocator.len;
                 k.base <- r.Allocator.base;
-                k.rate <- rate_for t.id r.Allocator.len;
+                k.rate <- rate;
                 incr transformations;
                 (* the kernel makes no progress while being reshaped *)
                 k.last_update <- now +. reconfig_cost;
@@ -177,6 +192,7 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
                  kernel;
                  iterations;
                  ops = segment_ops;
+                 mem = Cgra_dfg.Graph.mem_node_count (binary kernel).graph;
                  desired = Binary.pages_used (binary kernel);
                });
         start_kernel now t ~kernel ~iterations ~rest

@@ -1,0 +1,116 @@
+module Json = Cgra_trace.Json
+module Table = Cgra_util.Table
+
+type row = {
+  name : string;
+  value : float;
+  domains : int;
+  runs : int;
+  spread : float;
+}
+
+type doc = { bench : string; unit_ : string; rows : row list }
+
+let ( let* ) = Result.bind
+
+let str_member name v =
+  match Json.member name v with
+  | Some s -> (
+      match Json.to_str s with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "field %S is not a string" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let num_member ?default name v =
+  match (Json.member name v, default) with
+  | Some n, _ -> (
+      match Json.to_float n with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S is not a number" name))
+  | None, Some d -> Ok d
+  | None, None -> Error (Printf.sprintf "missing field %S" name)
+
+let parse s =
+  let* v = Json.parse s in
+  let* bench = str_member "bench" v in
+  let* unit_ = str_member "unit" v in
+  let* doc_domains = num_member ~default:1.0 "domains" v in
+  match Json.member "results" v with
+  | Some (Json.Arr entries) ->
+      let* rows =
+        List.fold_left
+          (fun acc e ->
+            let* acc = acc in
+            let* name = str_member "name" e in
+            let* value = num_member "value" e in
+            let* domains = num_member ~default:doc_domains "domains" e in
+            let* runs = num_member ~default:1.0 "runs" e in
+            let* spread = num_member ~default:0.0 "spread" e in
+            Ok
+              ({ name; value; domains = int_of_float domains;
+                 runs = int_of_float runs; spread }
+              :: acc))
+          (Ok []) entries
+      in
+      Ok { bench; unit_; rows = List.rev rows }
+  | Some _ -> Error "field \"results\" is not an array"
+  | None -> Error "missing field \"results\""
+
+(* Per-row slowdown budgets.  Everything here is a shared-machine wall
+   measurement, so the budgets are about catching algorithmic
+   regressions (2x-10x), not scheduling noise. *)
+let tolerance name =
+  let has_prefix p = String.length name >= String.length p
+                     && String.sub name 0 (String.length p) = p in
+  if has_prefix "compile-sobel-warm" || has_prefix "compile-suite-warm" then
+    4.0 (* microsecond-scale disk reads: highest relative jitter *)
+  else 2.0
+
+type outcome = {
+  o_name : string;
+  baseline : float;
+  current : float option;
+  tol : float;
+  ok : bool;
+}
+
+let check ~baseline ~current =
+  List.map
+    (fun b ->
+      let tol = tolerance b.name in
+      match List.find_opt (fun c -> c.name = b.name) current.rows with
+      | None -> { o_name = b.name; baseline = b.value; current = None; tol;
+                  ok = false }
+      | Some c ->
+          { o_name = b.name; baseline = b.value; current = Some c.value; tol;
+            ok = c.value <= b.value *. tol })
+    baseline.rows
+
+let failures outcomes =
+  List.length (List.filter (fun o -> not o.ok) outcomes)
+
+let render ~unit_ outcomes =
+  let fmt v = Table.fmt_float ~decimals:1 v in
+  let rows =
+    List.map
+      (fun o ->
+        match o.current with
+        | None ->
+            [ o.o_name; fmt o.baseline; "-"; "-";
+              Printf.sprintf "%.1fx" o.tol; "FAIL (missing)" ]
+        | Some c ->
+            [
+              o.o_name;
+              fmt o.baseline;
+              fmt c;
+              Printf.sprintf "%.2fx" (c /. o.baseline);
+              Printf.sprintf "%.1fx" o.tol;
+              (if o.ok then "pass" else "FAIL");
+            ])
+      outcomes
+  in
+  Table.render
+    ~header:
+      [ "row"; "baseline " ^ unit_; "current " ^ unit_; "ratio"; "tol";
+        "verdict" ]
+    rows

@@ -1,0 +1,47 @@
+(** The repo's first enforced perf contract: compare freshly measured
+    bench rows against the committed [BENCH_micro.json] /
+    [BENCH_fig9.json] baselines, with per-row tolerances, and fail
+    loudly on regressions.
+
+    The comparator lives in the library (not the bench binary) so the
+    test-suite can prove both directions: the committed baselines pass
+    against themselves, and a row inflated beyond tolerance fails. *)
+
+type row = {
+  name : string;
+  value : float;
+  domains : int;  (** pool width this row ran at *)
+  runs : int;  (** samples taken; the recorded value is the minimum *)
+  spread : float;  (** (max-min)/min over the samples, percent *)
+}
+
+type doc = { bench : string; unit_ : string; rows : row list }
+
+val parse : string -> (doc, string) result
+(** Parse a BENCH_*.json document.  [runs]/[spread] default to 1/0 for
+    rows written by older harnesses, [domains] to the document level. *)
+
+val tolerance : string -> float
+(** Allowed slowdown factor for the named row.  Warm-start rows measure
+    microsecond-scale disk reads and jitter hardest (4.0x); wall-clock
+    sweep and fold rows get the 2.0x default.  A factor, not a margin:
+    [current <= baseline * tolerance] passes. *)
+
+type outcome = {
+  o_name : string;
+  baseline : float;
+  current : float option;  (** [None]: row missing from the fresh run *)
+  tol : float;
+  ok : bool;
+}
+
+val check : baseline:doc -> current:doc -> outcome list
+(** One outcome per baseline row, in baseline order.  Missing rows and
+    beyond-tolerance regressions are [not ok]; faster-than-baseline is
+    always ok (improvements never fail the gate). *)
+
+val failures : outcome list -> int
+
+val render : unit_:string -> outcome list -> string
+(** Aligned verdict table: name, baseline, current, ratio, tolerance,
+    PASS/FAIL. *)

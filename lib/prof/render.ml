@@ -1,0 +1,259 @@
+module Json = Cgra_trace.Json
+module Table = Cgra_util.Table
+
+let farr a = Json.Arr (Array.to_list (Array.map (fun v -> Json.Num v) a))
+
+let to_json (r : Analyze.report) =
+  let run =
+    Json.Obj
+      [
+        ("makespan", Json.Num r.run.makespan);
+        ("mem_ports", Json.num_of_int r.run.mem_ports);
+        ("mode", Json.Str r.run.mode);
+        ("n_events", Json.num_of_int r.run.n_events);
+        ("policy", Json.Str r.run.policy);
+        ("reconfig_cost", Json.Num r.run.reconfig_cost);
+        ("rows", Json.num_of_int r.run.rows);
+        ("threads", Json.num_of_int r.run.n_threads);
+        ("total_pages", Json.num_of_int r.run.total_pages);
+      ]
+  in
+  let fabric_cycles =
+    r.run.makespan *. float_of_int (max 1 r.run.total_pages)
+  in
+  let residents =
+    Json.Arr
+      (List.map
+         (fun (h : Analyze.resident_heat) ->
+           Json.Obj
+             [
+               ("busy_cycles", Json.Num h.busy_total);
+               ("page_busy", farr h.page_busy);
+               ("thread", Json.num_of_int h.thread);
+               ( "utilization",
+                 Json.Num
+                   (if fabric_cycles > 0.0 then h.busy_total /. fabric_cycles
+                    else 0.0) );
+             ])
+         r.residents)
+  in
+  let row_bus =
+    match r.row_bus with
+    | None -> Json.Null
+    | Some b ->
+        Json.Obj
+          [
+            ("avg", farr b.avg);
+            ("capacity", Json.Num b.capacity);
+            ("over_frac", farr b.over_frac);
+            ("peak", farr b.peak);
+            ("rows", Json.num_of_int b.n_rows);
+          ]
+  in
+  let stall (s : Analyze.stall_attrib) =
+    Json.Obj
+      [
+        ("execution", Json.Num s.execution);
+        ("queueing", Json.Num s.queueing);
+        ("reshape", Json.Num s.reshape);
+        ("segments", Json.num_of_int s.segments);
+        ("thread", Json.num_of_int s.thread);
+        ("total", Json.Num s.total);
+      ]
+  in
+  let reshapes =
+    Json.Obj
+      [
+        ("considered", Json.num_of_int r.reshapes.considered);
+        ("decisions", Json.num_of_int r.reshapes.decisions);
+        ("denials", Json.num_of_int r.reshapes.denials);
+        ("entry_cycles", Json.Num r.reshapes.entry_cycles);
+        ("expands", Json.num_of_int r.reshapes.expands);
+        ("moves", Json.num_of_int r.reshapes.moves);
+        ("pages_rewritten", Json.num_of_int r.reshapes.pages_rewritten);
+        ("reshape_cycles", Json.Num r.reshapes.reshape_cycles);
+        ("shrinks", Json.num_of_int r.reshapes.shrinks);
+      ]
+  in
+  let latency =
+    Json.Obj
+      [
+        ("all", Metrics.Hist.summary_json r.latency_all);
+        ( "threads",
+          Json.Arr
+            (List.map
+               (fun (tid, h) ->
+                 match Metrics.Hist.summary_json h with
+                 | Json.Obj fields ->
+                     (* "thread" sorts after every summary key except none
+                        beginning later than 't'; keep full object sorted *)
+                     Json.Obj
+                       (List.sort
+                          (fun (a, _) (b, _) -> String.compare a b)
+                          (("thread", Json.num_of_int tid) :: fields))
+                 | other -> other)
+               r.latency) );
+      ]
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Num v)) r.counters) );
+      ("latency", latency);
+      ("occupancy", residents);
+      ("reshapes", reshapes);
+      ("row_bus", row_bus);
+      ("run", run);
+      ("stalls", Json.Arr (List.map stall r.stalls));
+    ]
+
+let json_string r = Json.to_string (to_json r) ^ "\n"
+
+let fmt = Table.fmt_float
+let pct = Table.fmt_percent
+
+let text (r : Analyze.report) =
+  let buf = Buffer.create 4096 in
+  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  let table t = Buffer.add_string buf t; Buffer.add_char buf '\n' in
+  line
+    (Printf.sprintf
+       "profile: %s mode, %d threads, %d pages, policy %s, makespan %s \
+        cycles (%d events)"
+       r.run.mode r.run.n_threads r.run.total_pages r.run.policy
+       (fmt ~decimals:0 r.run.makespan)
+       r.run.n_events);
+  let fabric_cycles =
+    r.run.makespan *. float_of_int (max 1 r.run.total_pages)
+  in
+  if r.residents <> [] then begin
+    line "";
+    line "page occupancy (busy fraction of makespan per page)";
+    let header =
+      "thread"
+      :: List.init r.run.total_pages (fun p -> Printf.sprintf "p%d" p)
+      @ [ "busy cyc"; "util" ]
+    in
+    let rows =
+      List.map
+        (fun (h : Analyze.resident_heat) ->
+          Printf.sprintf "t%d" h.thread
+          :: Array.to_list
+               (Array.map
+                  (fun busy ->
+                    if r.run.makespan > 0.0 then
+                      pct ~decimals:1 (100.0 *. busy /. r.run.makespan)
+                    else pct ~decimals:1 0.0)
+                  h.page_busy)
+          @ [
+              fmt ~decimals:0 h.busy_total;
+              (if fabric_cycles > 0.0 then
+                 pct ~decimals:1 (100.0 *. h.busy_total /. fabric_cycles)
+               else pct ~decimals:1 0.0);
+            ])
+        r.residents
+    in
+    table (Table.render ~header rows)
+  end;
+  (match r.row_bus with
+  | None -> ()
+  | Some b ->
+      line "";
+      line
+        (Printf.sprintf
+           "row-bus demand (accesses/cycle, capacity %s per row)"
+           (fmt ~decimals:0 b.capacity));
+      let rows =
+        List.init b.n_rows (fun i ->
+            [
+              Printf.sprintf "row %d" i;
+              fmt ~decimals:3 b.avg.(i);
+              fmt ~decimals:3 b.peak.(i);
+              pct ~decimals:1 (100.0 *. b.over_frac.(i));
+            ])
+      in
+      table (Table.render ~header:[ "row bus"; "avg"; "peak"; "over cap" ] rows));
+  if r.stalls <> [] then begin
+    line "";
+    line "stall attribution (cycles per thread)";
+    let row (s : Analyze.stall_attrib) name =
+      [
+        name;
+        string_of_int s.segments;
+        fmt ~decimals:0 s.queueing;
+        fmt ~decimals:0 s.reshape;
+        fmt ~decimals:0 s.execution;
+        fmt ~decimals:0 s.total;
+      ]
+    in
+    let total =
+      List.fold_left
+        (fun (acc : Analyze.stall_attrib) (s : Analyze.stall_attrib) ->
+          {
+            acc with
+            segments = acc.segments + s.segments;
+            queueing = acc.queueing +. s.queueing;
+            reshape = acc.reshape +. s.reshape;
+            execution = acc.execution +. s.execution;
+            total = acc.total +. s.total;
+          })
+        { thread = -1; segments = 0; queueing = 0.0; reshape = 0.0;
+          execution = 0.0; total = 0.0 }
+        r.stalls
+    in
+    let rows =
+      List.map
+        (fun (s : Analyze.stall_attrib) ->
+          row s (Printf.sprintf "t%d" s.thread))
+        r.stalls
+      @ [ row total "TOTAL" ]
+    in
+    table
+      (Table.render
+         ~header:[ "thread"; "segments"; "queueing"; "reshape"; "execution";
+                   "total" ]
+         rows)
+  end;
+  line "";
+  line
+    (Printf.sprintf
+       "reshapes: %d shrinks, %d expands, %d moves; %d pages rewritten, %s \
+        reshape cycles + %s shrunk-entry cycles; %d allocator decisions (%d \
+        denied, %d alternatives weighed)"
+       r.reshapes.shrinks r.reshapes.expands r.reshapes.moves
+       r.reshapes.pages_rewritten
+       (fmt ~decimals:0 r.reshapes.reshape_cycles)
+       (fmt ~decimals:0 r.reshapes.entry_cycles)
+       r.reshapes.decisions r.reshapes.denials r.reshapes.considered);
+  if Metrics.Hist.count r.latency_all > 0 then begin
+    line "";
+    line "segment latency (request -> release, cycles)";
+    let row name h =
+      let s = Metrics.Hist.summary h in
+      [
+        name;
+        string_of_int s.n;
+        fmt ~decimals:1 s.mean;
+        fmt ~decimals:0 s.p50;
+        fmt ~decimals:0 s.p90;
+        fmt ~decimals:0 s.p99;
+        fmt ~decimals:0 s.max;
+      ]
+    in
+    let rows =
+      List.map (fun (tid, h) -> row (Printf.sprintf "t%d" tid) h) r.latency
+      @ [ row "all" r.latency_all ]
+    in
+    table
+      (Table.render
+         ~header:[ "thread"; "n"; "mean"; "p50"; "p90"; "p99"; "max" ]
+         rows)
+  end;
+  if r.counters <> [] then begin
+    line "";
+    line "counters";
+    table
+      (Table.render ~header:[ "name"; "value" ]
+         (List.map (fun (n, v) -> [ n; Printf.sprintf "%g" v ]) r.counters))
+  end;
+  Buffer.contents buf

@@ -139,10 +139,21 @@ let run ?(trace = Cgra_trace.Trace.null) (m : Mapping.t) mem ~iterations =
   in
   let violations = List.rev !violations in
   if tracing then begin
+    let fired, hops =
+      List.fold_left
+        (fun (f, h) (_, _, ev) ->
+          match ev with Fire _ -> (f + 1, h) | Hop _ -> (f, h + 1))
+        (0, 0) events
+    in
     T.count trace "exec.cycles" (float_of_int cycles);
+    T.count trace "exec.fired" (float_of_int fired);
+    T.count trace "exec.hops" (float_of_int hops);
     T.count trace "exec.violations" (float_of_int (List.length violations));
     T.emit trace
       (T.Counter { name = "exec.cycles"; value = float_of_int cycles });
+    T.emit trace
+      (T.Counter { name = "exec.fired"; value = float_of_int fired });
+    T.emit trace (T.Counter { name = "exec.hops"; value = float_of_int hops });
     T.emit trace
       (T.Counter
          { name = "exec.violations";

@@ -18,6 +18,8 @@ let payload_fields = function
         ("threads", Json.num_of_int r.n_threads);
         ("policy", Json.Str r.policy);
         ("reconfig_cost", Json.Num r.reconfig_cost);
+        ("rows", Json.num_of_int r.rows);
+        ("mem_ports", Json.num_of_int r.mem_ports);
       ]
   | Run_end r -> [ ("makespan", Json.Num r.makespan) ]
   | Thread_arrival r ->
@@ -29,6 +31,7 @@ let payload_fields = function
         ("kernel", Json.Str r.kernel);
         ("iterations", Json.num_of_int r.iterations);
         ("ops", Json.num_of_int r.ops);
+        ("mem", Json.num_of_int r.mem);
         ("desired", Json.num_of_int r.desired);
       ]
   | Kernel_grant r ->
@@ -60,6 +63,7 @@ let payload_fields = function
         ("after", range_json r.after);
         ("pages_rewritten", Json.num_of_int r.pages_rewritten);
         ("cost", Json.Num r.cost);
+        ("rate", Json.Num r.rate);
       ]
   | Occupancy r ->
       [
@@ -104,6 +108,183 @@ let jsonl events =
 let kinds events =
   List.sort_uniq String.compare
     (List.map (fun (e : event) -> kind_name e.payload) events)
+
+(* ----- JSONL import ----- *)
+
+(* Total inverse of [event_json], so post-hoc analyzers ([Cgra_prof])
+   can consume archived traces without the producing process.  Every
+   malformed line is an [Error] with its 1-based line number — never an
+   exception. *)
+
+let ( let* ) = Result.bind
+
+let field name v =
+  match Json.member name v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let float_field name v =
+  let* x = field name v in
+  match Json.to_float x with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S is not a number" name)
+
+let int_field name v =
+  let* f = float_field name v in
+  Ok (int_of_float f)
+
+let str_field name v =
+  let* x = field name v in
+  match Json.to_str x with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S is not a string" name)
+
+let bool_field name v =
+  let* x = field name v in
+  match x with
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S is not a boolean" name)
+
+let range_of_json name v =
+  let* x = field name v in
+  let* base = int_field "base" x in
+  let* len = int_field "len" x in
+  Ok { base; len }
+
+let reshape_kind_of_name = function
+  | "shrink" -> Ok Shrink
+  | "expand" -> Ok Expand
+  | "move" -> Ok Move
+  | s -> Error (Printf.sprintf "unknown reshape kind %S" s)
+
+let payload_of_json kind v =
+  match kind with
+  | "run_begin" ->
+      let* mode = str_field "mode" v in
+      let* total_pages = int_field "total_pages" v in
+      let* n_threads = int_field "threads" v in
+      let* policy = str_field "policy" v in
+      let* reconfig_cost = float_field "reconfig_cost" v in
+      let* rows = int_field "rows" v in
+      let* mem_ports = int_field "mem_ports" v in
+      Ok (Run_begin { mode; total_pages; n_threads; policy; reconfig_cost;
+                      rows; mem_ports })
+  | "run_end" ->
+      let* makespan = float_field "makespan" v in
+      Ok (Run_end { makespan })
+  | "thread_arrival" ->
+      let* thread = int_field "thread" v in
+      let* segments = int_field "segments" v in
+      Ok (Thread_arrival { thread; segments })
+  | "thread_finish" ->
+      let* thread = int_field "thread" v in
+      Ok (Thread_finish { thread })
+  | "kernel_request" ->
+      let* thread = int_field "thread" v in
+      let* kernel = str_field "kernel" v in
+      let* iterations = int_field "iterations" v in
+      let* ops = int_field "ops" v in
+      let* mem = int_field "mem" v in
+      let* desired = int_field "desired" v in
+      Ok (Kernel_request { thread; kernel; iterations; ops; mem; desired })
+  | "kernel_grant" ->
+      let* thread = int_field "thread" v in
+      let* kernel = str_field "kernel" v in
+      let* range = range_of_json "range" v in
+      let* shrunk = bool_field "shrunk" v in
+      let* cost = float_field "cost" v in
+      let* rate = float_field "rate" v in
+      Ok (Kernel_grant { thread; kernel; range; shrunk; cost; rate })
+  | "kernel_stall" ->
+      let* thread = int_field "thread" v in
+      let* kernel = str_field "kernel" v in
+      let* queue_depth = int_field "queue_depth" v in
+      Ok (Kernel_stall { thread; kernel; queue_depth })
+  | "kernel_release" ->
+      let* thread = int_field "thread" v in
+      let* kernel = str_field "kernel" v in
+      let* range = range_of_json "range" v in
+      Ok (Kernel_release { thread; kernel; range })
+  | "reshape" ->
+      let* thread = int_field "thread" v in
+      let* kind_name = str_field "reshape" v in
+      let* kind = reshape_kind_of_name kind_name in
+      let* before = range_of_json "before" v in
+      let* after = range_of_json "after" v in
+      let* pages_rewritten = int_field "pages_rewritten" v in
+      let* cost = float_field "cost" v in
+      let* rate = float_field "rate" v in
+      Ok (Reshape { thread; kind; before; after; pages_rewritten; cost; rate })
+  | "occupancy" ->
+      let* thread = int_field "thread" v in
+      let* pages = int_field "pages" v in
+      let* elapsed = float_field "elapsed" v in
+      Ok (Occupancy { thread; pages; elapsed })
+  | "alloc_decision" ->
+      let* client = int_field "client" v in
+      let* desired = int_field "desired" v in
+      let* granted =
+        let* g = field "granted" v in
+        match g with
+        | Json.Null -> Ok None
+        | _ ->
+            let* r = range_of_json "granted" v in
+            Ok (Some r)
+      in
+      let* considered =
+        let* c = field "considered" v in
+        match c with
+        | Json.Arr entries ->
+            List.fold_left
+              (fun acc e ->
+                let* acc = acc in
+                let* what = str_field "what" e in
+                let* range = range_of_json "range" e in
+                Ok ((what, range) :: acc))
+              (Ok []) entries
+            |> Result.map List.rev
+        | _ -> Error "field \"considered\" is not an array"
+      in
+      Ok (Alloc_decision { client; desired; granted; considered })
+  | "counter" ->
+      let* name = str_field "name" v in
+      let* value = float_field "value" v in
+      Ok (Counter { name; value })
+  | "span_begin" ->
+      let* name = str_field "name" v in
+      Ok (Span_begin { name })
+  | "span_end" ->
+      let* name = str_field "name" v in
+      Ok (Span_end { name })
+  | "mark" ->
+      let* name = str_field "name" v in
+      let* detail = str_field "detail" v in
+      Ok (Mark { name; detail })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let event_of_json v =
+  let* seq = int_field "seq" v in
+  let* time = float_field "t" v in
+  let* kind = str_field "kind" v in
+  let* payload = payload_of_json kind v in
+  Ok { seq; time; payload }
+
+let of_jsonl s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else
+          let parsed =
+            let* v = Json.parse line in
+            event_of_json v
+          in
+          (match parsed with
+          | Ok e -> go (lineno + 1) (e :: acc) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] lines
 
 (* ----- Chrome trace_event ----- *)
 

@@ -26,3 +26,15 @@ val chrome : ?process_name:string -> Trace.event list -> string
 
 val kinds : Trace.event list -> string list
 (** Distinct {!Trace.kind_name}s present, sorted. *)
+
+val event_of_json : Json.value -> (Trace.event, string) result
+(** Total inverse of {!event_json}: rebuild a typed event from one JSONL
+    object.  Unknown kinds, missing fields, and wrong field types are
+    [Error]s, never exceptions. *)
+
+val of_jsonl : string -> (Trace.event list, string) result
+(** Parse a whole JSONL document (as produced by {!jsonl}) back into
+    events, skipping blank lines.  [Export.of_jsonl (Export.jsonl es)]
+    returns [Ok es] for any event list.  Errors carry the 1-based line
+    number.  This is what lets [cgra_tool profile] analyze archived
+    traces post-hoc. *)

@@ -9,6 +9,8 @@ type payload =
       n_threads : int;
       policy : string;
       reconfig_cost : float;
+      rows : int;
+      mem_ports : int;
     }
   | Run_end of { makespan : float }
   | Thread_arrival of { thread : int; segments : int }
@@ -18,6 +20,7 @@ type payload =
       kernel : string;
       iterations : int;
       ops : int;
+      mem : int;
       desired : int;
     }
   | Kernel_grant of {
@@ -37,6 +40,7 @@ type payload =
       after : page_range;
       pages_rewritten : int;
       cost : float;
+      rate : float;
     }
   | Occupancy of { thread : int; pages : int; elapsed : float }
   | Alloc_decision of {
@@ -131,14 +135,14 @@ let pp_event ppf e =
   Format.fprintf ppf "@[%6.0f #%d %s" e.time e.seq (kind_name e.payload);
   (match e.payload with
   | Run_begin r ->
-      Format.fprintf ppf " mode=%s pages=%d threads=%d policy=%s cost=%g" r.mode
-        r.total_pages r.n_threads r.policy r.reconfig_cost
+      Format.fprintf ppf " mode=%s pages=%d threads=%d policy=%s cost=%g rows=%d ports=%d"
+        r.mode r.total_pages r.n_threads r.policy r.reconfig_cost r.rows r.mem_ports
   | Run_end r -> Format.fprintf ppf " makespan=%g" r.makespan
   | Thread_arrival r -> Format.fprintf ppf " t%d segments=%d" r.thread r.segments
   | Thread_finish r -> Format.fprintf ppf " t%d" r.thread
   | Kernel_request r ->
-      Format.fprintf ppf " t%d %s x%d ops=%d desired=%d" r.thread r.kernel
-        r.iterations r.ops r.desired
+      Format.fprintf ppf " t%d %s x%d ops=%d mem=%d desired=%d" r.thread r.kernel
+        r.iterations r.ops r.mem r.desired
   | Kernel_grant r ->
       Format.fprintf ppf " t%d %s %a%s cost=%g rate=%g" r.thread r.kernel pp_range
         r.range
@@ -149,9 +153,9 @@ let pp_event ppf e =
   | Kernel_release r ->
       Format.fprintf ppf " t%d %s %a" r.thread r.kernel pp_range r.range
   | Reshape r ->
-      Format.fprintf ppf " t%d %s %a -> %a rewritten=%d cost=%g" r.thread
+      Format.fprintf ppf " t%d %s %a -> %a rewritten=%d cost=%g rate=%g" r.thread
         (match r.kind with Shrink -> "shrink" | Expand -> "expand" | Move -> "move")
-        pp_range r.before pp_range r.after r.pages_rewritten r.cost
+        pp_range r.before pp_range r.after r.pages_rewritten r.cost r.rate
   | Occupancy r ->
       Format.fprintf ppf " t%d pages=%d elapsed=%g" r.thread r.pages r.elapsed
   | Alloc_decision r ->

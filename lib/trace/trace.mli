@@ -38,6 +38,8 @@ type payload =
       n_threads : int;
       policy : string;
       reconfig_cost : float;
+      rows : int;  (** row buses on the fabric (0 when unknown) *)
+      mem_ports : int;  (** memory ports per row bus per cycle *)
     }
   | Run_end of { makespan : float }
   | Thread_arrival of { thread : int; segments : int }
@@ -47,6 +49,7 @@ type payload =
       kernel : string;
       iterations : int;
       ops : int;  (** total micro-ops this segment adds ([ops/iter * iterations]) *)
+      mem : int;  (** memory accesses per iteration (static load/store count) *)
       desired : int;  (** pages the paged binary wants *)
     }
   | Kernel_grant of {
@@ -66,6 +69,7 @@ type payload =
       after : page_range;
       pages_rewritten : int;  (** pages that receive re-folded contexts *)
       cost : float;  (** cycles of stalled progress charged *)
+      rate : float;  (** cycles per kernel iteration after the reshape *)
     }
   | Occupancy of { thread : int; pages : int; elapsed : float }
       (** the thread held [pages] pages for the [elapsed] cycles ending at

@@ -130,7 +130,8 @@ let test_jsonl_golden () =
   let lines = String.split_on_char '\n' j1 in
   Alcotest.(check string) "golden first line"
     "{\"seq\":0,\"t\":0,\"kind\":\"run_begin\",\"mode\":\"multi\",\
-     \"total_pages\":4,\"threads\":8,\"policy\":\"halving\",\"reconfig_cost\":0}"
+     \"total_pages\":4,\"threads\":8,\"policy\":\"halving\",\"reconfig_cost\":0,\
+     \"rows\":4,\"mem_ports\":2}"
     (List.hd lines);
   let last =
     List.fold_left (fun acc l -> if l = "" then acc else l) "" lines
@@ -235,7 +236,7 @@ let test_monitor_rejects_duplicate_waiter () =
       ev 0 0.0
         (T.Run_begin
            { mode = "multi"; total_pages = 4; n_threads = 2; policy = "halving";
-             reconfig_cost = 0.0 });
+             reconfig_cost = 0.0; rows = 4; mem_ports = 2 });
       ev 1 1.0 (T.Kernel_stall { thread = 7; kernel = "sor"; queue_depth = 1 });
       ev 2 2.0 (T.Kernel_stall { thread = 7; kernel = "sor"; queue_depth = 2 });
     ]
@@ -256,7 +257,7 @@ let test_monitor_rejects_overlap () =
       ev 0 0.0
         (T.Run_begin
            { mode = "multi"; total_pages = 4; n_threads = 2; policy = "halving";
-             reconfig_cost = 0.0 });
+             reconfig_cost = 0.0; rows = 4; mem_ports = 2 });
       grant 1 0.0 0 0 3;
       grant 2 1.0 1 2 2;
     ]
@@ -271,7 +272,7 @@ let test_monitor_rejects_bad_occupancy () =
       ev 0 0.0
         (T.Run_begin
            { mode = "multi"; total_pages = 4; n_threads = 1; policy = "halving";
-             reconfig_cost = 0.0 });
+             reconfig_cost = 0.0; rows = 4; mem_ports = 2 });
       ev 1 0.0
         (T.Kernel_grant
            { thread = 0; kernel = "sor"; range = { T.base = 0; len = 2 };
