@@ -1,4 +1,4 @@
-.PHONY: all test fmt smoke ci clean bench-json bench-gate profile fuzz-deep cache-clean
+.PHONY: all test fmt smoke ci clean bench-json bench-gate fig8 profile fuzz-deep cache-clean
 
 # Default on-disk binary store used by `cgra_tool compile/cache --cache`
 # unless a different directory is passed.
@@ -33,6 +33,14 @@ bench-json:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- micro --json
 	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- fig9 --json
+	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- fig8 --json
+
+# One-shot Fig. 8 regeneration: print every (fabric, page size) table
+# and rewrite the gated BENCH_fig8.json quality rows (the per-fabric
+# 4-PE-page geomeans; deterministic at seed 0, byte-identical at any -j).
+fig8:
+	dune build bench/main.exe
+	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- fig8 --json
 
 # Re-measure the micro and fig9 benches and compare every row against
 # the committed baselines with per-row tolerances; non-zero exit on any

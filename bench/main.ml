@@ -8,6 +8,7 @@
            dune exec bench/main.exe -- micro         (micro-benchmarks)
            dune exec bench/main.exe -- micro --json  (also write BENCH_micro.json)
            dune exec bench/main.exe -- fig9 --json   (also write BENCH_fig9.json)
+           dune exec bench/main.exe -- fig8 --json   (also write BENCH_fig8.json)
            dune exec bench/main.exe -- gate          (re-run + compare baselines)
            dune exec bench/main.exe -- gate --check  (validate baselines only)
 
@@ -140,7 +141,36 @@ let write_bench_json ~path ~bench ~unit_ ~domains ~extras results =
 
 (* ----- Fig. 8: compile-time constraint cost ----- *)
 
-let run_fig8 ~pool () =
+(* The gated quality rows: every fabric's 4-PE-page geomean (the page
+   size all three fabrics share, and the one Fig. 8 headlines).  These
+   are deterministic functions of the scheduler at seed 0 — no timing,
+   no spread — so the gate direction flips: a drop in any row means the
+   compiler got worse at its job. *)
+let fig8_rows ~pool ~quiet () =
+  let w = Cgra_util.Pool.width pool in
+  List.filter_map
+    (fun size ->
+      List.find_map
+        (fun (f : Experiments.fig8) ->
+          if f.page_pes <> 4 then None
+          else begin
+            if not quiet then begin
+              print_newline ();
+              print_endline (Experiments.render_fig8 f)
+            end;
+            Some
+              {
+                m_name = Printf.sprintf "fig8 %dx%d p4 geomean" size size;
+                ns = f.geomean_pct;
+                runs = 1;
+                spread = 0.0;
+                domains = w;
+              }
+          end)
+        (Experiments.fig8_all ~pool ~size ()))
+    Experiments.cgra_sizes
+
+let run_fig8 ~pool ~json () =
   section "Figure 8 - performance cost of the paging constraints (100 * II_b / II_c)";
   List.iter
     (fun size ->
@@ -149,7 +179,11 @@ let run_fig8 ~pool () =
           print_newline ();
           print_endline (Experiments.render_fig8 f))
         (Experiments.fig8_all ~pool ~size ()))
-    Experiments.cgra_sizes
+    Experiments.cgra_sizes;
+  if json then
+    write_bench_json ~path:"BENCH_fig8.json" ~bench:"fig8" ~unit_:"percent"
+      ~domains:(Cgra_util.Pool.width pool) ~extras:[]
+      (fig8_rows ~pool ~quiet:true ())
 
 (* ----- Fig. 9: multithreading improvement ----- *)
 
@@ -403,7 +437,7 @@ let load_baseline path =
    proves the file parses, every row has a tolerance, and the
    self-comparison passes — cheap enough for @smoke.  The full gate
    re-measures and compares for real. *)
-let run_gate ~pool ~check_only ~micro_path ~fig9_path () =
+let run_gate ~pool ~check_only ~micro_path ~fig9_path ~fig8_path () =
   section
     (if check_only then "Bench gate - baseline validation (tolerance check only)"
      else "Bench gate - fresh measurements vs. committed baselines");
@@ -416,8 +450,9 @@ let run_gate ~pool ~check_only ~micro_path ~fig9_path () =
   in
   let micro_base = load_baseline micro_path in
   let fig9_base = load_baseline fig9_path in
-  let micro_cur, fig9_cur =
-    if check_only then (micro_base, fig9_base)
+  let fig8_base = load_baseline fig8_path in
+  let micro_cur, fig9_cur, fig8_cur =
+    if check_only then (micro_base, fig9_base, fig8_base)
     else begin
       let micro_rows = micro_rows ~quiet:true () in
       let micro_doc =
@@ -431,13 +466,19 @@ let run_gate ~pool ~check_only ~micro_path ~fig9_path () =
           ~extras:[ ("replicates", "3") ]
           (fig9_with_total fig9_rows ~w)
       in
+      let fig8_doc =
+        bench_doc ~bench:"fig8" ~unit_:"percent" ~domains:w ~extras:[]
+          (fig8_rows ~pool ~quiet:true ())
+      in
       ( Result.get_ok (Cgra_prof.Bench_gate.parse micro_doc),
-        Result.get_ok (Cgra_prof.Bench_gate.parse fig9_doc) )
+        Result.get_ok (Cgra_prof.Bench_gate.parse fig9_doc),
+        Result.get_ok (Cgra_prof.Bench_gate.parse fig8_doc) )
     end
   in
   let micro_failures = gate "micro" micro_base micro_cur in
   let fig9_failures = gate "fig9" fig9_base fig9_cur in
-  let failures = micro_failures + fig9_failures in
+  let fig8_failures = gate "fig8" fig8_base fig8_cur in
+  let failures = micro_failures + fig9_failures + fig8_failures in
   if failures > 0 then begin
     Printf.printf "\nbench gate: %d row(s) FAILED\n" failures;
     exit 1
@@ -475,9 +516,10 @@ let () =
   in
   let micro_path = Option.value ~default:"BENCH_micro.json" (opt_value "--micro" args) in
   let fig9_path = Option.value ~default:"BENCH_fig9.json" (opt_value "--fig9" args) in
+  let fig8_path = Option.value ~default:"BENCH_fig8.json" (opt_value "--fig8" args) in
   let rec drop_opts = function
     | [] -> []
-    | ("--micro" | "--fig9") :: _ :: rest -> drop_opts rest
+    | ("--micro" | "--fig9" | "--fig8") :: _ :: rest -> drop_opts rest
     | ("--json" | "--check") :: rest -> drop_opts rest
     | a :: rest -> a :: drop_opts rest
   in
@@ -487,19 +529,20 @@ let () =
         Printf.printf "(parallel sections across %d domains)\n"
           (Cgra_util.Pool.width pool);
       match mode with
-      | "fig8" -> run_fig8 ~pool ()
+      | "fig8" -> run_fig8 ~pool ~json ()
       | "fig9" -> run_fig9 ~pool ~replicates:3 ~json ()
       | "micro" -> run_micro ~json ()
       | "ablation" -> run_ablation ~pool ()
-      | "gate" -> run_gate ~pool ~check_only ~micro_path ~fig9_path ()
+      | "gate" -> run_gate ~pool ~check_only ~micro_path ~fig9_path ~fig8_path ()
       | "all" ->
-          run_fig8 ~pool ();
+          run_fig8 ~pool ~json ();
           run_fig9 ~pool ~replicates:3 ~json ();
           run_ablation ~pool ();
           run_micro ~json ()
       | other ->
           Printf.eprintf
             "unknown mode %s (expected fig8 | fig9 | ablation | micro | gate | \
-             all; flags: --json, --check, --micro PATH, --fig9 PATH)\n"
+             all; flags: --json, --check, --micro PATH, --fig9 PATH, --fig8 \
+             PATH)\n"
             other;
           exit 1)

@@ -145,7 +145,7 @@ let cmd_kernels =
 (* ----- map ----- *)
 
 let cmd_map =
-  let run kernel size page_pes seed paged show domains trace_out format =
+  let run kernel size page_pes seed paged show stats domains trace_out format =
     let arch = or_die (arch_of ~size ~page_pes) in
     let k = or_die (kernel_of kernel) in
     let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
@@ -162,6 +162,11 @@ let cmd_map =
     (match Mapping.validate m with
     | Ok () -> print_endline "validation: ok"
     | Error es -> List.iter (fun e -> print_endline ("VIOLATION: " ^ e)) es);
+    if stats then begin
+      print_newline ();
+      print_string
+        (Cgra_prof.Render.bus_pressure_text (Cgra_prof.Analyze.bus_pressure m))
+    end;
     (match trace_out with
     | Some path -> export_trace ~format ~path (Cgra_trace.Trace.events trace)
     | None -> ());
@@ -175,6 +180,14 @@ let cmd_map =
     Arg.(value & flag & info [ "paged" ] ~doc:"Apply the paging constraints.")
   in
   let show = Arg.(value & flag & info [ "show" ] ~doc:"Print the placement grids.") in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the mapping's exact per-(row, slot) memory-port demand \
+             table — what the bandwidth-aware scheduler's cost model sees.")
+  in
   let trace_out =
     Arg.(
       value
@@ -188,7 +201,7 @@ let cmd_map =
     (Cmd.info "map" ~doc:"Compile a kernel onto the CGRA and report II and placement.")
     Term.(
       const run $ kernel_arg $ size_arg $ page_arg $ seed_arg $ paged $ show
-      $ domains_arg $ trace_out $ format_arg)
+      $ stats $ domains_arg $ trace_out $ format_arg)
 
 (* ----- shrink ----- *)
 
@@ -384,7 +397,36 @@ let cmd_trace =
 
 let cmd_profile =
   let run file json out size page_pes seed mode threads need policy
-      reconfig_cost domains =
+      reconfig_cost mapping paged domains =
+    match mapping with
+    | Some kernel ->
+        (* static single-mapping bus pressure: compile the kernel and
+           report exact per-(row, slot) port demand — no OS run, no slab
+           approximation *)
+        let arch = or_die (arch_of ~size ~page_pes) in
+        let k = or_die (kernel_of kernel) in
+        let kind = if paged then Scheduler.Paged else Scheduler.Unconstrained in
+        let m =
+          Cgra_util.Pool.with_pool ?domains (fun pool ->
+              or_die (Scheduler.map ~seed ~pool kind arch k.graph))
+        in
+        let b = Cgra_prof.Analyze.bus_pressure m in
+        let doc =
+          if json then begin
+            let s = Cgra_prof.Render.bus_pressure_json_string b in
+            (match Cgra_trace.Json.parse s with
+            | Ok _ -> ()
+            | Error e -> or_die (Error ("emitted bus-pressure JSON is invalid: " ^ e)));
+            s
+          end
+          else Cgra_prof.Render.bus_pressure_text b
+        in
+        (match out with
+        | None -> print_string doc
+        | Some path ->
+            write_file path doc;
+            Printf.printf "wrote %s\n" path)
+    | None ->
     let events =
       match file with
       | Some path ->
@@ -455,6 +497,23 @@ let cmd_profile =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the report to FILE.")
   in
+  let mapping =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mapping" ] ~docv:"KERNEL"
+          ~doc:
+            "Instead of profiling an OS run, compile KERNEL and report its \
+             mapping's exact per-(row, slot) memory-port demand table \
+             (replaces the slab approximation for single-kernel questions).  \
+             Honors --size, --page-size, --seed, --paged, --json, and -o.")
+  in
+  let paged =
+    Arg.(
+      value & flag
+      & info [ "paged" ]
+          ~doc:"With --mapping: use the paging-constrained compiler.")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
@@ -464,7 +523,8 @@ let cmd_profile =
           Works post-hoc on a JSONL trace or live on a fresh simulated run.")
     Term.(
       const run $ file $ json $ out $ size_arg $ page_arg $ seed_arg $ mode_arg
-      $ threads_arg $ need_arg $ policy_arg $ reconfig_cost_arg $ domains_arg)
+      $ threads_arg $ need_arg $ policy_arg $ reconfig_cost_arg $ mapping
+      $ paged $ domains_arg)
 
 (* ----- greedy ----- *)
 

@@ -2,7 +2,11 @@ open Cgra_arch
 open Cgra_dfg
 open Cgra_mapper
 
-let format_version = 1
+(* 2: bandwidth-aware scheduling — the wire shape is unchanged, but the
+   scheduler now produces different (better) mappings for the same
+   (arch, kernel, seed) key, so stored artifacts from version 1 must be
+   re-addressed rather than served. *)
+let format_version = 2
 
 (* ----- primitive writers: zigzag LEB128 varints, length-prefixed
    strings.  Every composite encoder below is built from these two, so

@@ -10,7 +10,7 @@ let earliest_free ~ii ~free pe ~lower ~deadline =
   go lower
 
 let find ~grid ~ii ~free ~allowed ~read_adjacent ?goal_adjacent ?neighbors
-    ~(src : Mapping.placement) ~dst_pe ~deadline ~max_hops () =
+    ?hop_cost ~(src : Mapping.placement) ~dst_pe ~deadline ~max_hops () =
   let goal_adjacent = Option.value ~default:read_adjacent goal_adjacent in
   let neighbors =
     match neighbors with
@@ -20,50 +20,63 @@ let find ~grid ~ii ~free ~allowed ~read_adjacent ?goal_adjacent ?neighbors
   if goal_adjacent src.Mapping.pe dst_pe && deadline >= src.Mapping.time + 1 then
     Some []
   else begin
-    (* Best-first over (hops, arrival time); parents recorded for path
-       reconstruction.  The visited map is two dense per-PE arrays — the
-       scheduler calls this in its innermost loop, so constant factors
-       matter. *)
+    (* Best-first over (hops, accumulated hop cost, arrival time);
+       parents recorded for path reconstruction.  The visited map is
+       three dense per-PE arrays — the scheduler calls this in its
+       innermost loop, so constant factors matter.  Without [hop_cost]
+       every cost is 0 and the search degenerates to the original
+       (hops, time) order, expansion for expansion. *)
+    let hop_cost = match hop_cost with Some f -> f | None -> fun _ _ -> 0 in
     let module Pq = Cgra_util.Pqueue in
     let n = Grid.pe_count grid in
-    (* pe index -> (hops, time) already expanded with *)
+    (* pe index -> (hops, cost, time) already expanded with *)
     let best_h = Array.make n max_int in
+    let best_c = Array.make n max_int in
     let best_t = Array.make n max_int in
-    let cmp (h1, t1) (h2, t2) =
+    let cmp (h1, c1, t1) (h2, c2, t2) =
       let c = Int.compare h1 h2 in
-      if c <> 0 then c else Int.compare t1 t2
+      if c <> 0 then c
+      else
+        let c = Int.compare c1 c2 in
+        if c <> 0 then c else Int.compare t1 t2
     in
     let q = ref (Pq.empty ~cmp) in
-    let push hops time pe path =
+    let push hops cost time pe path =
       match earliest_free ~ii ~free pe ~lower:time ~deadline:(deadline - 1) with
       | None -> ()
       | Some t ->
+          let cost = cost + hop_cost pe t in
           let key = Grid.index grid pe in
           let better =
-            hops < best_h.(key) || (hops = best_h.(key) && t < best_t.(key))
+            hops < best_h.(key)
+            || hops = best_h.(key)
+               && (cost < best_c.(key)
+                  || (cost = best_c.(key) && t < best_t.(key)))
           in
           if better then begin
             best_h.(key) <- hops;
+            best_c.(key) <- cost;
             best_t.(key) <- t;
-            q := Pq.push !q (hops, t) (pe, { Mapping.pe; time = t } :: path)
+            q := Pq.push !q (hops, cost, t) (pe, { Mapping.pe; time = t } :: path)
           end
     in
     List.iter
       (fun pe ->
         if allowed pe && read_adjacent src.Mapping.pe pe then
-          push 1 (src.Mapping.time + 1) pe [])
+          push 1 0 (src.Mapping.time + 1) pe [])
       (neighbors src.Mapping.pe);
     let rec search () =
       match Pq.pop !q with
       | None -> None
-      | Some (((hops, t), (pe, path)), rest) ->
+      | Some (((hops, cost, t), (pe, path)), rest) ->
           q := rest;
           if goal_adjacent pe dst_pe && deadline >= t + 1 then Some (List.rev path)
           else if hops >= max_hops then search ()
           else begin
             List.iter
               (fun pe' ->
-                if allowed pe' && read_adjacent pe pe' then push (hops + 1) (t + 1) pe' path)
+                if allowed pe' && read_adjacent pe pe' then
+                  push (hops + 1) cost (t + 1) pe' path)
               (neighbors pe);
             search ()
           end

@@ -19,6 +19,7 @@ val find :
   read_adjacent:(Cgra_arch.Coord.t -> Cgra_arch.Coord.t -> bool) ->
   ?goal_adjacent:(Cgra_arch.Coord.t -> Cgra_arch.Coord.t -> bool) ->
   ?neighbors:(Cgra_arch.Coord.t -> Cgra_arch.Coord.t list) ->
+  ?hop_cost:(Cgra_arch.Coord.t -> int -> int) ->
   src:Mapping.placement ->
   dst_pe:Cgra_arch.Coord.t ->
   deadline:int ->
@@ -37,5 +38,11 @@ val find :
     where the last producer-side PE must sit on the page boundary.
     [neighbors pe] must return the mesh neighbours of [pe] followed by
     [pe] itself (the default computes exactly that); callers on a hot
-    path pass a precomputed table.  [None] when no chain of at most
-    [max_hops] hops exists. *)
+    path pass a precomputed table.  [hop_cost pe t] (default 0) is a
+    secondary routing price charged per hop slot: the search minimizes
+    (hops, total cost, arrival time) lexicographically, so with the
+    default the original fewest-hops/earliest-arrival behaviour is
+    preserved exactly — the bandwidth-aware scheduler uses it to steer
+    routing chains away from (row, slot) pairs whose memory-port budget
+    is nearly spent.  [None] when no chain of at most [max_hops] hops
+    exists. *)

@@ -54,6 +54,11 @@ module Prep = struct
            unplaced consumers prefer these under the spread personality) *)
     is_band : bool;  (* band-shaped pages: serpentine adjacency applies *)
     mem_ports : int;
+    port_budget : int array;
+        (* row -> memory-port budget: the per-(row, slot) allowance the
+           bandwidth-aware cost prices against.  Uniform today
+           ([mem_ports_per_row] everywhere), but kept as a table so the
+           cost model already supports heterogeneous rows. *)
   }
 
   let make kind arch graph =
@@ -103,6 +108,7 @@ module Prep = struct
       boundary;
       is_band = not (Page.is_rect pages);
       mem_ports = arch.Cgra.mem_ports_per_row;
+      port_budget = Array.make grid.Grid.rows arch.Cgra.mem_ports_per_row;
     }
 end
 
@@ -117,6 +123,12 @@ module Attempt = struct
            pages (maximizing the fabric left for other threads); [true]
            uses pages freely, favouring a lower II.  Restart attempts
            alternate between the two. *)
+    bus : bool;
+        (* bandwidth-aware personality: price row-bus pressure in the
+           candidate cost, steer routing hops off port-saturated slots,
+           and repair failures with a bounded memory-op spill pass.
+           [false] reproduces the pre-bandwidth scheduler byte for
+           byte. *)
     rng : Cgra_util.Rng.t;
     cancel : unit -> bool;
         (* polled between node placements: [true] once a better race
@@ -127,28 +139,36 @@ module Attempt = struct
     placements : Mapping.placement option array;
     occupied : Bytes.t;  (* pe_index * ii + slot *)
     mem_use : int array;  (* row * ii + slot -> count *)
+    row_occ : int array;
+        (* row * ii + slot -> occupied PEs (ops and routing hops): how
+           much of the row is left to host its remaining port budget *)
     overlay : int array;  (* generation stamps, pe_index * ii + slot *)
     mutable overlay_gen : int;
     mutable routes : Mapping.route list;
     mutable max_page_used : int;  (* -1 when none *)
+    mutable spills_left : int;
   }
 
-  let create ?(spread = false) ?(cancel = fun () -> false) ~debug prep ii rng =
+  let create ?(spread = false) ?(bus = false) ?(cancel = fun () -> false)
+      ~debug prep ii rng =
     let n_pes = Array.length prep.Prep.all_pes in
     {
       prep;
       ii;
       spread;
+      bus;
       rng;
       cancel;
       debug;
       placements = Array.make (Graph.n_nodes prep.Prep.graph) None;
       occupied = Bytes.make (n_pes * ii) '\000';
       mem_use = Array.make (prep.Prep.arch.Cgra.grid.Grid.rows * ii) 0;
+      row_occ = Array.make (prep.Prep.arch.Cgra.grid.Grid.rows * ii) 0;
       overlay = Array.make (n_pes * ii) 0;
       overlay_gen = 0;
       routes = [];
       max_page_used = -1;
+      spills_left = (if bus then 8 else 0);
     }
 
   let grid t = t.prep.Prep.arch.Cgra.grid
@@ -173,6 +193,18 @@ module Attempt = struct
     match (Graph.node (graph t) v).op with Op.Const _ -> true | _ -> false
 
   let page_of_idx t pe = t.prep.Prep.page_idx.(Grid.index (grid t) pe)
+
+  (* ----- bandwidth pricing ------------------------------------------- *)
+
+  (* Occupying (pe, time) "strands" row-bus budget when the row still has
+     unspent memory ports at that slot but is running out of free PEs to
+     issue them from: each such placement makes the residual bandwidth
+     harder to spend later.  Only the bandwidth-aware personality pays
+     this price. *)
+  let port_strand t pe time =
+    let k = mem_key t pe time in
+    let slack = t.prep.Prep.port_budget.(pe.Coord.row) - t.mem_use.(k) in
+    if slack > 0 && (grid t).Grid.cols - t.row_occ.(k) <= slack then 1 else 0
 
   (* Reach relation for reads: same PE or mesh neighbour; for band pages
      under paging constraints, same-page reads must additionally be
@@ -203,12 +235,16 @@ module Attempt = struct
       Bytes.get t.occupied k = '\000' && t.overlay.(k) <> gen
     in
     let neighbors pe = t.prep.Prep.nbrs_self.(Grid.index (grid t) pe) in
+    (* Bus-aware routing: among equally short chains, prefer hops that do
+       not strand port budget.  Legacy attempts pass no cost and keep the
+       original (hops, time) search exactly. *)
+    let hop_cost = if t.bus then Some (port_strand t) else None in
     match kind t with
     | Unconstrained ->
         Router.find ~grid:(grid t) ~ii:t.ii ~free ~allowed:(fun _ -> true)
           ~read_adjacent:(read_adjacent t ~same_page:false)
-          ~neighbors ~src:producer ~dst_pe:consumer.pe ~deadline:read_time
-          ~max_hops:8 ()
+          ~neighbors ?hop_cost ~src:producer ~dst_pe:consumer.pe
+          ~deadline:read_time ~max_hops:8 ()
     | Paged -> (
         match (page_of_idx t producer.pe, page_of_idx t consumer.pe) with
         | pu, pv when pu >= 0 && pv >= pu ->
@@ -226,7 +262,8 @@ module Attempt = struct
               else false
             in
             Router.find ~grid:(grid t) ~ii:t.ii ~free ~allowed ~read_adjacent:step
-              ~neighbors ~src:producer ~dst_pe:consumer.pe ~deadline:read_time
+              ~neighbors ?hop_cost ~src:producer ~dst_pe:consumer.pe
+              ~deadline:read_time
               ~max_hops:(2 * (pv - pu + 4))
               ()
         | _, _ -> None)
@@ -294,16 +331,49 @@ module Attempt = struct
       (fun (e : Graph.edge) -> t.placements.(e.dst) = None)
       (Graph.succs (graph t) v)
 
+  (* Bus-pressure price of a feasible candidate, the bandwidth-aware
+     term of the cost tuple (0 for legacy attempts).  A memory op pays
+     for the load already on its (row, slot) — steering memory traffic
+     toward slack rows — plus a saturation surcharge when it would spend
+     the row's last port; any placement (op or routing hop) additionally
+     pays the stranding price of eating a would-be port issuer's PE. *)
+  let bus_cost t ~v_is_mem (cand : Mapping.placement) routes =
+    if not t.bus then 0
+    else begin
+      let own =
+        if v_is_mem then begin
+          let k = mem_key t cand.pe cand.time in
+          let used = t.mem_use.(k) in
+          let saturating =
+            if used + 1 >= t.prep.Prep.port_budget.(cand.pe.Coord.row) then 1
+            else 0
+          in
+          (4 * used) + (2 * saturating)
+        end
+        else port_strand t cand.pe cand.time
+      in
+      List.fold_left
+        (fun acc (r : Mapping.route) ->
+          List.fold_left
+            (fun acc (h : Mapping.placement) -> acc + port_strand t h.pe h.time)
+            acc r.hops)
+        own routes
+    end
+
   (* Cost of a feasible candidate.  Packing personality: fewer fresh
      pages and lower page index first (harvestable fabric); spreading
      personality: fewer routing hops and boundary access for ops whose
-     consumers are still unplaced (lower II pressure). *)
-  let cost t v (cand : Mapping.placement) routes =
+     consumers are still unplaced (lower II pressure).  The fourth
+     component is the bus-pressure term — tie-break-level for legacy
+     attempts (always 0 there), an active allocation signal for
+     bandwidth-aware ones. *)
+  let cost t v ~v_is_mem (cand : Mapping.placement) routes =
     let hops =
       List.fold_left (fun acc (r : Mapping.route) -> acc + List.length r.hops) 0 routes
     in
+    let bus = bus_cost t ~v_is_mem cand routes in
     match kind t with
-    | Unconstrained -> (0, 0, hops, 0, Cgra_util.Rng.int t.rng 1024)
+    | Unconstrained -> (0, 0, hops, bus, Cgra_util.Rng.int t.rng 1024)
     | Paged when t.spread ->
         let interior_penalty =
           if
@@ -312,29 +382,81 @@ module Attempt = struct
           then 1
           else 0
         in
-        (0, hops, interior_penalty, 0, Cgra_util.Rng.int t.rng 1024)
+        (0, hops, interior_penalty, bus, Cgra_util.Rng.int t.rng 1024)
     | Paged ->
         let pg = max 0 (page_of_idx t cand.pe) in
         let fresh = if pg > t.max_page_used then 1 else 0 in
-        (fresh, pg, hops, 0, Cgra_util.Rng.int t.rng 1024)
+        (fresh, pg, hops, bus, Cgra_util.Rng.int t.rng 1024)
 
   let commit t v (cand : Mapping.placement) routes =
     t.placements.(v) <- Some cand;
     Bytes.set t.occupied (occ_key t cand.pe cand.time) '\001';
-    if Op.is_mem (Graph.node (graph t) v).op then begin
-      let key = mem_key t cand.pe cand.time in
-      t.mem_use.(key) <- t.mem_use.(key) + 1
-    end;
+    let rk = mem_key t cand.pe cand.time in
+    t.row_occ.(rk) <- t.row_occ.(rk) + 1;
+    if Op.is_mem (Graph.node (graph t) v).op then
+      t.mem_use.(rk) <- t.mem_use.(rk) + 1;
     List.iter
       (fun (r : Mapping.route) ->
         List.iter
           (fun (h : Mapping.placement) ->
-            Bytes.set t.occupied (occ_key t h.pe h.time) '\001')
+            Bytes.set t.occupied (occ_key t h.pe h.time) '\001';
+            let k = mem_key t h.pe h.time in
+            t.row_occ.(k) <- t.row_occ.(k) + 1)
           r.hops;
         t.routes <- r :: t.routes)
       routes;
     let pg = page_of_idx t cand.pe in
     if pg >= 0 then t.max_page_used <- max t.max_page_used pg
+
+  (* Roll node [u] back out of the schedule: its slot, bus ports, row
+     occupancy, and every committed route with [u] as an endpoint.
+     Returns the removed placement and routes so [recommit] can restore
+     the exact state if the spill does not work out. *)
+  let uncommit t u =
+    match t.placements.(u) with
+    | None -> None
+    | Some (p : Mapping.placement) ->
+        t.placements.(u) <- None;
+        Bytes.set t.occupied (occ_key t p.pe p.time) '\000';
+        let rk = mem_key t p.pe p.time in
+        t.row_occ.(rk) <- t.row_occ.(rk) - 1;
+        if Op.is_mem (Graph.node (graph t) u).op then
+          t.mem_use.(rk) <- t.mem_use.(rk) - 1;
+        let mine, keep =
+          List.partition
+            (fun (r : Mapping.route) ->
+              r.edge.Graph.src = u || r.edge.Graph.dst = u)
+            t.routes
+        in
+        List.iter
+          (fun (r : Mapping.route) ->
+            List.iter
+              (fun (h : Mapping.placement) ->
+                Bytes.set t.occupied (occ_key t h.pe h.time) '\000';
+                let k = mem_key t h.pe h.time in
+                t.row_occ.(k) <- t.row_occ.(k) - 1)
+              r.hops)
+          mine;
+        t.routes <- keep;
+        Some (p, mine)
+
+  let recommit t u (p : Mapping.placement) removed_routes =
+    t.placements.(u) <- Some p;
+    Bytes.set t.occupied (occ_key t p.pe p.time) '\001';
+    let rk = mem_key t p.pe p.time in
+    t.row_occ.(rk) <- t.row_occ.(rk) + 1;
+    if Op.is_mem (Graph.node (graph t) u).op then
+      t.mem_use.(rk) <- t.mem_use.(rk) + 1;
+    List.iter
+      (fun (r : Mapping.route) ->
+        List.iter
+          (fun (h : Mapping.placement) ->
+            Bytes.set t.occupied (occ_key t h.pe h.time) '\001';
+            let k = mem_key t h.pe h.time in
+            t.row_occ.(k) <- t.row_occ.(k) + 1)
+          r.hops;
+        t.routes <- r :: t.routes)
+      removed_routes
 
   (* Modulo scheduling window of node [v] from its placed neighbours —
      data edges and memory ordering constraints alike. *)
@@ -379,7 +501,12 @@ module Attempt = struct
             | None -> acc)
         hi t.prep.Prep.ordering
     in
-    (lo, min hi (lo + t.ii - 1))
+    (* Resource slots repeat modulo II, so [ii] distinct times cover every
+       slot — but routing deadlines are not modular: a later time buys a
+       longer cross-page relay chain.  The bandwidth-aware personality
+       searches a second period for exactly that reason. *)
+    let span = if t.bus && kind t = Paged then 2 * t.ii else t.ii in
+    (lo, min hi (lo + span - 1))
 
   let place_node t v =
     let lo, hi = window t v in
@@ -417,14 +544,20 @@ module Attempt = struct
                 match edges_feasible t ~preds ~succs cand with
                 | None -> ()
                 | Some routes ->
-                    let c = cost t v cand routes in
+                    let c = cost t v ~v_is_mem cand routes in
                     (match !best with
                     | Some (c0, _, _) when c0 <= c -> ()
                     | Some _ | None -> best := Some (c, cand, routes)))
             pes;
           match !best with
-          | Some (_, cand, routes) ->
+          | Some ((c1, c2, c3, c4, c5), cand, routes) ->
               commit t v cand routes;
+              t.debug (fun () ->
+                  Printf.sprintf
+                    "%s ii=%d: node %d -> pe=(%d,%d) t=%d cost=(%d,%d,%d,%d,%d)"
+                    (Graph.name (graph t))
+                    t.ii v cand.pe.Coord.row cand.pe.Coord.col cand.time c1 c2
+                    c3 c4 c5);
               true
           | None -> try_time (time + 1)
         end
@@ -432,9 +565,88 @@ module Attempt = struct
       try_time lo
     end
 
+  (* Bounded repair for the bandwidth-aware personality: when a node has
+     no feasible slot, evict a placed victim, place the stuck node, then
+     find the evictee a new home (re-timed or re-rowed).  Victims are
+     tried in two tiers: first the stuck node's already placed graph
+     neighbours — they pin its modulo window, so moving one is the only
+     cure when the window has closed — then the memory ops on the most
+     port-saturated (row, slot) pairs, whose eviction returns bus budget.
+     Failures restore the exact pre-spill state, so a spill can only
+     turn a failing attempt into a succeeding one. *)
+  let try_spill t v =
+    if (not t.bus) || kind t <> Paged || t.spills_left <= 0 then false
+    else begin
+      let neighbours =
+        List.sort_uniq Int.compare
+          (List.filter_map
+             (fun (e : Graph.edge) ->
+               let u = if e.src = v then e.dst else e.src in
+               if u <> v && t.placements.(u) <> None && not (is_const t u)
+               then Some u
+               else None)
+             (Graph.preds (graph t) v @ Graph.succs (graph t) v))
+      in
+      let mem_victims =
+        List.sort
+          (fun (u1, load1) (u2, load2) ->
+            let c = Int.compare load2 load1 in
+            if c <> 0 then c else Int.compare u1 u2)
+          (List.concat_map
+             (fun (n : Graph.node) ->
+               if n.id = v || not (Op.is_mem n.op) || List.mem n.id neighbours
+               then []
+               else
+                 match t.placements.(n.id) with
+                 | None -> []
+                 | Some p -> [ (n.id, t.mem_use.(mem_key t p.pe p.time)) ])
+             (Graph.nodes (graph t)))
+      in
+      (* A closed modulo window (hi < lo) is pinned entirely by the
+         placed neighbours: evicting a non-adjacent memory op cannot
+         reopen it, so skip the second tier and save the doomed
+         placement scans. *)
+      let lo, hi = window t v in
+      let victims =
+        List.map (fun u -> (u, 0)) neighbours
+        @ (if hi < lo then [] else mem_victims)
+      in
+      let rec go = function
+        | [] -> false
+        | (u, _) :: rest ->
+            if t.spills_left <= 0 then false
+            else begin
+              t.spills_left <- t.spills_left - 1;
+              match uncommit t u with
+              | None -> go rest
+              | Some (p, removed) ->
+                  if place_node t v then begin
+                    if place_node t u then begin
+                      t.debug (fun () ->
+                          Printf.sprintf
+                            "%s ii=%d: spilled node %d to place node %d"
+                            (Graph.name (graph t))
+                            t.ii u v);
+                      true
+                    end
+                    else begin
+                      ignore (uncommit t v);
+                      recommit t u p removed;
+                      go rest
+                    end
+                  end
+                  else begin
+                    recommit t u p removed;
+                    go rest
+                  end
+            end
+      in
+      go victims
+    end
+
   let run t =
     let place v =
-      let ok = place_node t v in
+      let ok = place_node t v || try_spill t v in
       if not ok then
         t.debug (fun () ->
             Printf.sprintf "%s ii=%d: no slot for node %d (%s)"
@@ -477,25 +689,44 @@ end
 
 let debug_sink msg = Log.debug (fun m -> m "%s" (msg ()))
 
-let map ?(seed = 0) ?max_ii ?(attempts = 64) ?pool
+let map ?(seed = 0) ?max_ii ?(attempts = 64) ?(bus_aware = true) ?pool
     ?(trace = Cgra_trace.Trace.null) kind arch g =
   let start = mii kind arch g in
   let max_ii = Option.value ~default:(start + 40) max_ii in
   let prep = Prep.make kind arch g in
   let launched = Atomic.make 0 in
   let polish_runs = Atomic.make 0 in
-  let one_attempt ?cancel ?(debug = debug_sink) ~ii ~a ~spread () =
+  (* With [bus_aware] each II gets two attempt families: indices
+     [0, bus_n) run the bandwidth-aware cost (bus-pressure pricing,
+     cost-guided routing, spill repair, a second window period), and
+     [bus_n, bus_n + attempts) replay the legacy family byte-identically
+     — attempt [bus_n + k] here is exactly attempt [k] of the
+     pre-bandwidth scheduler (same rng seed, same personality, zero bus
+     term).  Any II the legacy search could close therefore still
+     closes: the resulting II is monotonically no worse, by
+     construction.  The bandwidth family is capped small: measured
+     winners sit in its first few indices, so a deep tail would only
+     tax the IIs that fail outright. *)
+  let bus_n = if bus_aware then min attempts 16 else 0 in
+  let per_ii = attempts + bus_n in
+  let one_attempt ?cancel ?(debug = debug_sink) ~bus ~rng_a ~spread ~ii () =
     let rng =
-      Cgra_util.Rng.create ~seed:(((seed * 31) + (ii * 1009) + a) lxor 0x5bf03635)
+      Cgra_util.Rng.create
+        ~seed:(((seed * 31) + (ii * 1009) + rng_a) lxor 0x5bf03635)
     in
-    Attempt.run (Attempt.create ~spread ?cancel ~debug prep ii rng)
+    Attempt.run (Attempt.create ~spread ~bus ?cancel ~debug prep ii rng)
+  in
+  let ladder_attempt ?cancel ?debug ~ii ~a () =
+    let bus = a < bus_n in
+    let al = if a >= bus_n then a - bus_n else a in
+    one_attempt ?cancel ?debug ~bus ~rng_a:al ~spread:(al mod 2 = 1) ~ii ()
   in
   (* The (ii, attempt) ladder, in the deterministic priority order: the
      winner is always the earliest candidate here that succeeds, whether
      the ladder is walked sequentially or raced across the pool. *)
   let candidates =
     List.concat_map
-      (fun i -> List.init attempts (fun a -> (start + i, a)))
+      (fun i -> List.init per_ii (fun a -> (start + i, a)))
       (List.init (max 0 (max_ii - start + 1)) Fun.id)
   in
   let n_candidates = List.length candidates in
@@ -512,7 +743,7 @@ let map ?(seed = 0) ?max_ii ?(attempts = 64) ?pool
       | [] -> None
       | (ii, a) :: rest -> (
           Atomic.incr launched;
-          match one_attempt ~ii ~a ~spread:(a mod 2 = 1) () with
+          match ladder_attempt ~ii ~a () with
           | Some m -> Some ((ii, a), m)
           | None -> go rest)
     in
@@ -526,15 +757,15 @@ let map ?(seed = 0) ?max_ii ?(attempts = 64) ?pool
       let debug =
         if debug_on then fun msg -> logs := msg () :: !logs else debug_sink
       in
-      let r = one_attempt ~cancel:doomed ~debug ~ii ~a ~spread:(a mod 2 = 1) () in
-      if debug_on then bufs.((ii - start) * attempts + a) <- List.rev !logs;
+      let r = ladder_attempt ~cancel:doomed ~debug ~ii ~a () in
+      if debug_on then bufs.((ii - start) * per_ii + a) <- List.rev !logs;
       r
     in
     let res = Cgra_util.Pool.race_poll p eval candidates in
     if debug_on then begin
       let last =
         match res with
-        | Some ((ii, a), _) -> ((ii - start) * attempts) + a
+        | Some ((ii, a), _) -> ((ii - start) * per_ii) + a
         | None -> n_candidates - 1
       in
       for i = 0 to last do
@@ -555,7 +786,7 @@ let map ?(seed = 0) ?max_ii ?(attempts = 64) ?pool
     else begin
       let run_one a =
         Atomic.incr polish_runs;
-        one_attempt ~ii ~a:(1000 + a) ~spread:false ()
+        one_attempt ~bus:bus_aware ~rng_a:(1000 + a) ~spread:false ~ii ()
       in
       let better best cand =
         if Mapping.n_pages_used cand < Mapping.n_pages_used best then cand

@@ -24,6 +24,7 @@ val map :
   ?seed:int ->
   ?max_ii:int ->
   ?attempts:int ->
+  ?bus_aware:bool ->
   ?pool:Cgra_util.Pool.t ->
   ?trace:Cgra_trace.Trace.t ->
   kind ->
@@ -34,6 +35,17 @@ val map :
     restarts per II, [max_ii] = MII + 40.  [Error] only when every II up
     to [max_ii] fails — which the test-suite treats as a bug for the
     bundled kernels.
+
+    [bus_aware] (default [true]) makes the row bus a first-class
+    allocation: each II races a bandwidth-aware attempt family — bus
+    pressure priced into the candidate cost against per-(row, slot) port
+    budgets, routing hops steered off port-saturated slots, and a
+    bounded spill pass that re-times or re-rows the worst memory ops
+    when an attempt gets stuck — ahead of the legacy family, which is
+    replayed byte-identically after it.  The achieved II is therefore
+    monotonically no worse than with [bus_aware:false] (which reproduces
+    the pre-bandwidth scheduler exactly), at the price of up to twice
+    the attempts on IIs that fail entirely.
 
     [pool] races the (II, attempt) ladder speculatively across the
     domain pool (see {!Cgra_util.Pool.race}): the winner is always the

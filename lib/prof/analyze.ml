@@ -366,3 +366,50 @@ let pe_heatmap (m : Cgra_mapper.Mapping.t) =
     m.routes;
   let ii = float_of_int (max 1 m.ii) in
   Array.map (Array.map (fun s -> s /. ii)) slots
+
+type bus_pressure = {
+  kernel : string;
+  ii : int;
+  n_rows : int;
+  capacity : int;
+  demand : int array array;
+  mem_ops : int;
+  saturated : int;
+  headroom : int;
+}
+
+let bus_pressure (m : Cgra_mapper.Mapping.t) =
+  let grid = m.arch.Cgra_arch.Cgra.grid in
+  let rows = grid.Cgra_arch.Grid.rows in
+  let ii = max 1 m.ii in
+  let capacity = m.arch.Cgra_arch.Cgra.mem_ports_per_row in
+  let demand = Array.make_matrix rows ii 0 in
+  let mem_ops = ref 0 in
+  Array.iteri
+    (fun id p ->
+      match p with
+      | Some (p : Cgra_mapper.Mapping.placement) ->
+          if Cgra_dfg.Op.is_mem (Cgra_dfg.Graph.node m.graph id).op then begin
+            incr mem_ops;
+            let slot = p.time mod ii in
+            demand.(p.pe.Cgra_arch.Coord.row).(slot) <-
+              demand.(p.pe.Cgra_arch.Coord.row).(slot) + 1
+          end
+      | None -> ())
+    m.placements;
+  let saturated = ref 0 and headroom = ref 0 in
+  Array.iter
+    (Array.iter (fun d ->
+         if d >= capacity then incr saturated
+         else headroom := !headroom + (capacity - d)))
+    demand;
+  {
+    kernel = Cgra_dfg.Graph.name m.graph;
+    ii;
+    n_rows = rows;
+    capacity;
+    demand;
+    mem_ops = !mem_ops;
+    saturated = !saturated;
+    headroom = !headroom;
+  }

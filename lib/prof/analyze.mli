@@ -92,3 +92,26 @@ val pe_heatmap : Cgra_mapper.Mapping.t -> float array array
     where each entry is (occupied schedule slots) / II for that PE —
     operation firings and routing hops both occupy slots.  This is the
     paper's Fig. 4 measurement, derived from the mapping itself. *)
+
+type bus_pressure = {
+  kernel : string;
+  ii : int;
+  n_rows : int;
+  capacity : int;  (** the row bus's port budget ([mem_ports_per_row]) *)
+  demand : int array array;
+      (** [n_rows x ii]: memory accesses issued on each row bus in each
+          modulo slot — exact counts from the placements, not the
+          profiler's slab approximation *)
+  mem_ops : int;  (** placed loads + stores *)
+  saturated : int;  (** (row, slot) pairs at [demand = capacity] *)
+  headroom : int;  (** spare ports summed over unsaturated (row, slot) pairs *)
+}
+
+val bus_pressure : Cgra_mapper.Mapping.t -> bus_pressure
+(** Static per-(row, slot) port-demand table of one mapping: what the
+    bandwidth-aware scheduler's cost model sees, derived from the
+    mapping itself.  Every mapping accepted by [Mapping.validate] has
+    [demand <= capacity] everywhere; [saturated] counts the slots with
+    no slack left — the slots the spill pass re-times memory ops away
+    from.  For single-kernel bus questions this replaces the profiler's
+    slab approximation ({!row_bus}) with exact counts. *)

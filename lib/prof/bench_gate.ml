@@ -56,14 +56,23 @@ let parse s =
   | Some _ -> Error "field \"results\" is not an array"
   | None -> Error "missing field \"results\""
 
+let has_prefix p name =
+  String.length name >= String.length p
+  && String.sub name 0 (String.length p) = p
+
+(* Fig. 8 geomean rows are deterministic quality scores (percent,
+   higher is better), not wall measurements: the gate direction flips
+   and the budget is a flat epsilon for float formatting, not a jitter
+   factor. *)
+let higher_is_better name = has_prefix "fig8" name
+
 (* Per-row slowdown budgets.  Everything here is a shared-machine wall
    measurement, so the budgets are about catching algorithmic
    regressions (2x-10x), not scheduling noise. *)
 let tolerance name =
-  let has_prefix p = String.length name >= String.length p
-                     && String.sub name 0 (String.length p) = p in
-  if has_prefix "compile-sobel-warm" || has_prefix "compile-suite-warm" then
-    4.0 (* microsecond-scale disk reads: highest relative jitter *)
+  if higher_is_better name then 1.0
+  else if has_prefix "compile-sobel-warm" name || has_prefix "compile-suite-warm" name
+  then 4.0 (* microsecond-scale disk reads: highest relative jitter *)
   else 2.0
 
 type outcome = {
@@ -82,8 +91,12 @@ let check ~baseline ~current =
       | None -> { o_name = b.name; baseline = b.value; current = None; tol;
                   ok = false }
       | Some c ->
+          let ok =
+            if higher_is_better b.name then c.value >= b.value -. 0.05
+            else c.value <= b.value *. tol
+          in
           { o_name = b.name; baseline = b.value; current = Some c.value; tol;
-            ok = c.value <= b.value *. tol })
+            ok })
     baseline.rows
 
 let failures outcomes =
@@ -91,20 +104,23 @@ let failures outcomes =
 
 let render ~unit_ outcomes =
   let fmt v = Table.fmt_float ~decimals:1 v in
+  let tol_label o =
+    if higher_is_better o.o_name then ">=base" else Printf.sprintf "%.1fx" o.tol
+  in
   let rows =
     List.map
       (fun o ->
         match o.current with
         | None ->
-            [ o.o_name; fmt o.baseline; "-"; "-";
-              Printf.sprintf "%.1fx" o.tol; "FAIL (missing)" ]
+            [ o.o_name; fmt o.baseline; "-"; "-"; tol_label o;
+              "FAIL (missing)" ]
         | Some c ->
             [
               o.o_name;
               fmt o.baseline;
               fmt c;
               Printf.sprintf "%.2fx" (c /. o.baseline);
-              Printf.sprintf "%.1fx" o.tol;
+              tol_label o;
               (if o.ok then "pass" else "FAIL");
             ])
       outcomes

@@ -25,7 +25,14 @@ val tolerance : string -> float
 (** Allowed slowdown factor for the named row.  Warm-start rows measure
     microsecond-scale disk reads and jitter hardest (4.0x); wall-clock
     sweep and fold rows get the 2.0x default.  A factor, not a margin:
-    [current <= baseline * tolerance] passes. *)
+    [current <= baseline * tolerance] passes.  Meaningless (1.0) for
+    {!higher_is_better} rows, which gate on a flat epsilon instead. *)
+
+val higher_is_better : string -> bool
+(** Rows named with the "fig8" prefix are deterministic quality scores
+    (geomean percent of baseline II), not wall measurements: the gate
+    passes when [current >= baseline - 0.05] — any real drop in mapping
+    quality fails, and jitter tolerances do not apply. *)
 
 type outcome = {
   o_name : string;

@@ -257,3 +257,46 @@ let text (r : Analyze.report) =
          (List.map (fun (n, v) -> [ n; Printf.sprintf "%g" v ]) r.counters))
   end;
   Buffer.contents buf
+
+(* ----- static bus-pressure table (one mapping, exact counts) ----- *)
+
+let iarr a = Json.Arr (Array.to_list (Array.map Json.num_of_int a))
+
+let bus_pressure_json (b : Analyze.bus_pressure) =
+  Json.Obj
+    [
+      ("capacity", Json.num_of_int b.capacity);
+      ("demand", Json.Arr (Array.to_list (Array.map iarr b.demand)));
+      ("headroom", Json.num_of_int b.headroom);
+      ("ii", Json.num_of_int b.ii);
+      ("kernel", Json.Str b.kernel);
+      ("mem_ops", Json.num_of_int b.mem_ops);
+      ("rows", Json.num_of_int b.n_rows);
+      ("saturated", Json.num_of_int b.saturated);
+    ]
+
+let bus_pressure_json_string b = Json.to_string (bus_pressure_json b) ^ "\n"
+
+let bus_pressure_text (b : Analyze.bus_pressure) =
+  let buf = Buffer.create 1024 in
+  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  line
+    (Printf.sprintf
+       "bus pressure: %s, II=%d, %d memory ops, %d ports per row bus"
+       b.kernel b.ii b.mem_ops b.capacity);
+  let header =
+    "row bus" :: List.init b.ii (fun s -> Printf.sprintf "t%d" s) @ [ "total" ]
+  in
+  let rows =
+    List.init b.n_rows (fun r ->
+        let total = Array.fold_left ( + ) 0 b.demand.(r) in
+        Printf.sprintf "row %d" r
+        :: Array.to_list (Array.map string_of_int b.demand.(r))
+        @ [ string_of_int total ])
+  in
+  Buffer.add_string buf (Table.render ~header rows);
+  Buffer.add_char buf '\n';
+  line
+    (Printf.sprintf "saturated slots: %d of %d; headroom: %d ports" b.saturated
+       (b.n_rows * b.ii) b.headroom);
+  Buffer.contents buf

@@ -406,6 +406,73 @@ let test_router_respects_occupancy () =
         || List.for_all (fun (h : Mapping.placement) -> h.pe.Coord.col <> 1) hops)
   | None -> Alcotest.fail "router should find a detour"
 
+(* ---------- bandwidth-aware scheduling ---------- *)
+
+let grid_fabrics = [ (4, 2); (4, 4); (6, 2); (6, 4); (6, 8); (8, 2); (8, 4); (8, 8) ]
+
+let test_bus_aware_ii_monotone () =
+  (* The bus-aware ladder replays the complete legacy attempt family
+     byte-identically after its own family, so for every (kernel,
+     fabric, seed) cell of the Fig. 8 grid the achieved paged II can
+     only improve.  264 cells: 11 kernels x 8 fabric/page combos x 3
+     seeds, each compiled both ways. *)
+  List.iter
+    (fun (size, page_pes) ->
+      let arch = Option.get (Cgra.standard ~size ~page_pes) in
+      List.iter
+        (fun (k : Cgra_kernels.Kernels.t) ->
+          List.iter
+            (fun seed ->
+              let tag =
+                Printf.sprintf "%s %dx%d p%d seed %d" k.name size size page_pes
+                  seed
+              in
+              let compile ~bus_aware =
+                match Scheduler.map ~seed ~bus_aware Paged arch k.graph with
+                | Ok m -> m
+                | Error e -> Alcotest.failf "%s (bus_aware=%b) failed: %s" tag bus_aware e
+              in
+              let legacy = compile ~bus_aware:false in
+              let bus = compile ~bus_aware:true in
+              assert_valid bus;
+              if bus.ii > legacy.ii then
+                Alcotest.failf "%s: bus-aware II %d worse than legacy II %d" tag
+                  bus.ii legacy.ii)
+            [ 0; 1; 2 ])
+        Cgra_kernels.Kernels.all)
+    grid_fabrics
+
+let test_bus_aware_race_identical () =
+  (* byte-identical results at -j 1/2/4 with the bus-aware family in the
+     raced ladder (the lowest-index-winner contract must survive the
+     doubled per-II attempt space) *)
+  let kernels =
+    List.map Cgra_kernels.Kernels.find_exn [ "yuv2rgb"; "swim"; "sobel" ]
+  in
+  List.iter
+    (fun (size, page_pes) ->
+      let arch = Option.get (Cgra.standard ~size ~page_pes) in
+      List.iter
+        (fun (k : Cgra_kernels.Kernels.t) ->
+          let seq = map_ok Paged arch k.graph in
+          List.iter
+            (fun j ->
+              Cgra_util.Pool.with_pool ~domains:j (fun pool ->
+                  match Scheduler.map ~pool Paged arch k.graph with
+                  | Error e ->
+                      Alcotest.failf "%s %dx%d p%d -j %d failed: %s" k.name size
+                        size page_pes j e
+                  | Ok raced ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s %dx%d p%d -j %d = sequential" k.name
+                           size size page_pes j)
+                        true
+                        ((seq.Mapping.ii, seq.placements, seq.routes)
+                        = (raced.Mapping.ii, raced.placements, raced.routes))))
+            [ 1; 2; 4 ])
+        kernels)
+    grid_fabrics
+
 (* ---------- properties over synthetic kernels ---------- *)
 
 let prop_synthetic_maps_validate kind name =
@@ -491,6 +558,13 @@ let () =
           Alcotest.test_case "direct case" `Quick test_router_direct_case;
           Alcotest.test_case "deadline" `Quick test_router_respects_deadline;
           Alcotest.test_case "occupancy detour" `Quick test_router_respects_occupancy;
+        ] );
+      ( "bus-aware",
+        [
+          Alcotest.test_case "II monotone over the Fig. 8 grid" `Slow
+            test_bus_aware_ii_monotone;
+          Alcotest.test_case "raced = sequential at -j 1/2/4" `Slow
+            test_bus_aware_race_identical;
         ] );
       ( "properties",
         [

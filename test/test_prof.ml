@@ -188,8 +188,8 @@ let test_profile_run_header () =
    however many domains produced the run, live or re-imported.  If a
    rendering or analysis change is intentional, re-run
    [dune exec bin/cgra_tool.exe -- profile ...] and update the digests. *)
-let golden_text_digest = "2950559eca07396edeb0adb77ccb3c30"
-let golden_json_digest = "f4ba37aa6851888877b91ccc09d96a64"
+let golden_text_digest = "8e4e52cf0670f2f891b78eba77f44645"
+let golden_json_digest = "aa3a2b8c872bf4fa693484da645b5184"
 
 let test_profile_golden () =
   let r = report_of (traced_events ()) in
@@ -334,6 +334,87 @@ let test_gate_missing_row_fails () =
         Alcotest.(check bool) (o.o_name ^ " missing -> fail") false o.ok)
     outcomes
 
+let test_bus_pressure_exact_counts () =
+  (* the static analyzer recounts the mapping's memory ops exactly: cell
+     sums equal the placed load/store count, no cell exceeds the row-bus
+     budget (the mapping validated), and both renderings are stable *)
+  let a = Lazy.force arch_4x4 in
+  let k = Cgra_kernels.Kernels.find_exn "sobel" in
+  let m =
+    match Cgra_mapper.Scheduler.map Cgra_mapper.Scheduler.Paged a k.graph with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "map: %s" e
+  in
+  let b = Analyze.bus_pressure m in
+  Alcotest.(check string) "kernel name" "sobel" b.kernel;
+  Alcotest.(check int) "ii" m.ii b.ii;
+  Alcotest.(check int) "mem ops counted"
+    (Cgra_dfg.Graph.mem_node_count m.graph) b.mem_ops;
+  let sum =
+    Array.fold_left
+      (fun acc row -> Array.fold_left ( + ) acc row)
+      0 b.demand
+  in
+  Alcotest.(check int) "cells sum to mem ops" b.mem_ops sum;
+  Array.iteri
+    (fun r row ->
+      Array.iteri
+        (fun s d ->
+          if d > b.capacity then
+            Alcotest.failf "row %d slot %d: %d > capacity %d" r s d b.capacity)
+        row)
+    b.demand;
+  (match Json.parse (Render.bus_pressure_json_string b) with
+  | Ok (Json.Obj fields) ->
+      Alcotest.(check (list string)) "json keys sorted"
+        [ "capacity"; "demand"; "headroom"; "ii"; "kernel"; "mem_ops"; "rows";
+          "saturated" ]
+        (List.map fst fields)
+  | Ok _ -> Alcotest.fail "bus-pressure JSON is not an object"
+  | Error e -> Alcotest.failf "bus-pressure JSON does not parse: %s" e);
+  let text = Render.bus_pressure_text b in
+  Alcotest.(check bool) "text carries the header" true
+    (contains ~sub:"bus pressure: sobel" text);
+  Alcotest.(check string) "re-render identical" text
+    (Render.bus_pressure_text (Analyze.bus_pressure m))
+
+let test_gate_fig8_higher_is_better () =
+  (* fig8 rows are quality scores: improvements pass, any real drop
+     fails — the inverse of the wall-clock direction *)
+  Alcotest.(check bool) "fig8 prefix flips direction" true
+    (Bench_gate.higher_is_better "fig8 4x4 p4 geomean");
+  Alcotest.(check bool) "wall rows unchanged" false
+    (Bench_gate.higher_is_better "fold sobel");
+  let baseline =
+    doc_of_string
+      {|{ "bench": "fig8", "domains": 1, "unit": "percent", "results": [
+          { "name": "fig8 4x4 p4 geomean", "value": 88.159 } ] }|}
+  in
+  let current v =
+    doc_of_string
+      (Printf.sprintf
+         {|{ "bench": "fig8", "domains": 1, "unit": "percent", "results": [
+             { "name": "fig8 4x4 p4 geomean", "value": %f } ] }|}
+         v)
+  in
+  let failures v =
+    Bench_gate.failures (Bench_gate.check ~baseline ~current:(current v))
+  in
+  Alcotest.(check int) "self passes" 0 (failures 88.159);
+  Alcotest.(check int) "improvement passes" 0 (failures 95.0);
+  Alcotest.(check int) "formatting epsilon absorbed" 0 (failures 88.12);
+  Alcotest.(check int) "quality drop fails" 1 (failures 82.0);
+  (* the drop would have sailed through the wall-clock direction (82 <=
+     88 * 2.0), so this asserts the direction actually flipped *)
+  let rendered =
+    Bench_gate.render ~unit_:"percent"
+      (Bench_gate.check ~baseline ~current:(current 82.0))
+  in
+  Alcotest.(check bool) "render marks the drop" true
+    (contains ~sub:"FAIL" rendered);
+  Alcotest.(check bool) "render shows the flipped budget" true
+    (contains ~sub:">=base" rendered)
+
 let test_gate_parses_old_format () =
   (* rows written before min-of-N: no runs/spread/per-row domains *)
   let d =
@@ -381,6 +462,8 @@ let () =
             test_stall_attribution_vs_replay;
           Alcotest.test_case "empty stream rejected" `Quick
             test_profile_requires_header;
+          Alcotest.test_case "bus pressure exact counts" `Quick
+            test_bus_pressure_exact_counts;
         ] );
       ( "bench gate",
         [
@@ -391,6 +474,8 @@ let () =
             test_gate_fails_inflated_row;
           Alcotest.test_case "missing row fails" `Quick
             test_gate_missing_row_fails;
+          Alcotest.test_case "fig8 rows gate higher-is-better" `Quick
+            test_gate_fig8_higher_is_better;
           Alcotest.test_case "old baseline format" `Quick
             test_gate_parses_old_format;
         ] );

@@ -279,9 +279,9 @@ let test_flipped_byte () =
 let test_stale_version () =
   corruption_case (fun s ->
       (* the version varint sits right after the 4-byte magic; rewrite it
-         to a future format (zigzag: 1 encodes as 0x02, 2 as 0x04) *)
+         to a future format (zigzag: version v encodes as the byte 2v) *)
       let b = Bytes.of_string s in
-      Bytes.set b 4 '\004';
+      Bytes.set b 4 (Char.chr (2 * (Codec.format_version + 1)));
       Bytes.to_string b)
 
 let test_empty_and_garbage_files () =

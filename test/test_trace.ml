@@ -172,8 +172,10 @@ let test_meld_violation_golden () =
 
 let test_sched_race_golden () =
   (* the scheduler's race telemetry is byte-stable: the sequential ladder
-     for mpeg/paged on 4x4 launches exactly 65 of the 2624 candidates
-     before attempt (2,0) wins, cancelling the rest, then polishes 8× *)
+     for mpeg/paged on 4x4 launches exactly 8 of the 3280 candidates (80
+     per II: 16 bus-aware attempts ahead of the 64-attempt legacy replay)
+     before bus attempt (1,7) wins at the MII, cancelling the rest, then
+     polishes 8x *)
   let a = arch 4 4 in
   let k = Cgra_kernels.Kernels.find_exn "mpeg" in
   let trace = T.make () in
@@ -182,11 +184,11 @@ let test_sched_race_golden () =
   | Error e -> Alcotest.failf "map: %s" e);
   Alcotest.(check string) "golden race telemetry"
     "{\"seq\":0,\"t\":0,\"kind\":\"span_begin\",\"name\":\"sched.race\"}\n\
-     {\"seq\":1,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.candidates\",\"value\":2624}\n\
-     {\"seq\":2,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.launched\",\"value\":65}\n\
-     {\"seq\":3,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.cancelled\",\"value\":2559}\n\
+     {\"seq\":1,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.candidates\",\"value\":3280}\n\
+     {\"seq\":2,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.launched\",\"value\":8}\n\
+     {\"seq\":3,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.cancelled\",\"value\":3272}\n\
      {\"seq\":4,\"t\":0,\"kind\":\"counter\",\"name\":\"sched.race.polish\",\"value\":8}\n\
-     {\"seq\":5,\"t\":0,\"kind\":\"mark\",\"name\":\"sched.race.winner\",\"detail\":\"ii=2 attempt=0\"}\n\
+     {\"seq\":5,\"t\":0,\"kind\":\"mark\",\"name\":\"sched.race.winner\",\"detail\":\"ii=1 attempt=7\"}\n\
      {\"seq\":6,\"t\":0,\"kind\":\"span_end\",\"name\":\"sched.race\"}\n"
     (Export.jsonl (T.events trace))
 

@@ -196,6 +196,51 @@ let test_accepts_relocated_base () =
   Alcotest.(check bool) "accepted at base 1" true (Verify.mapping m = Ok ());
   Alcotest.(check bool) "validator also accepts" true (Mapping.validate m = Ok ())
 
+(* ---------- bus-aware mappings through the independent checkers ---------- *)
+
+let test_bus_aware_accepted_and_within_budget () =
+  (* every bandwidth-aware mapping must clear the independent checker
+     AND the Meld co-residency checker's Bus_capacity walk (solo
+     resident), and its per-(row, slot) memory-port counts — recounted
+     here from the raw placements, not via the scheduler's own tables —
+     must never exceed the row-bus budget *)
+  List.iter
+    (fun (size, page_pes) ->
+      let a = arch size page_pes in
+      List.iter
+        (fun (k : Cgra_kernels.Kernels.t) ->
+          let tag = Printf.sprintf "%s %dx%d p%d" k.name size size page_pes in
+          let m = map_ok Scheduler.Paged a k.graph in
+          (match Verify.mapping m with
+          | Ok () -> ()
+          | Error es ->
+              Alcotest.failf "%s rejected by Verify: %s" tag (String.concat "; " es));
+          (match Meld.check_mappings [ m ] with
+          | Ok _ -> ()
+          | Error vs ->
+              Alcotest.failf "%s rejected by Meld: %s" tag
+                (String.concat "; "
+                   (List.map (fun (v : Meld.violation) -> v.detail) vs)));
+          let counts = Hashtbl.create 32 in
+          Array.iteri
+            (fun id p ->
+              match p with
+              | Some (p : Mapping.placement)
+                when Op.is_mem (Graph.node m.graph id).op ->
+                  let key = (p.pe.Coord.row, p.time mod m.ii) in
+                  Hashtbl.replace counts key
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+              | _ -> ())
+            m.placements;
+          Hashtbl.iter
+            (fun (row, slot) n ->
+              if n > a.Cgra.mem_ports_per_row then
+                Alcotest.failf "%s: row %d slot %d issues %d accesses (budget %d)"
+                  tag row slot n a.Cgra.mem_ports_per_row)
+            counts)
+        Cgra_kernels.Kernels.all)
+    [ (4, 4); (6, 2); (8, 8) ]
+
 (* ---------- validator / checker differential agreement ---------- *)
 
 let test_fuzzed_agreement () =
@@ -310,6 +355,8 @@ let () =
           Alcotest.test_case "forward ring step accepted" `Quick
             test_accepts_forward_ring_step;
           Alcotest.test_case "relocated base accepted" `Quick test_accepts_relocated_base;
+          Alcotest.test_case "bus-aware mappings pass Verify + Meld" `Quick
+            test_bus_aware_accepted_and_within_budget;
         ] );
       ( "rejection",
         [
