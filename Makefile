@@ -1,4 +1,4 @@
-.PHONY: all test fmt smoke ci clean bench-json bench-gate fig8 profile fuzz-deep cache-clean
+.PHONY: all test fmt smoke ci clean bench-json bench-gate fig8 farm profile fuzz-deep cache-clean
 
 # Default on-disk binary store used by `cgra_tool compile/cache --cache`
 # unless a different directory is passed.
@@ -34,6 +34,7 @@ bench-json:
 	dune exec bench/main.exe -- micro --json
 	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- fig9 --json
 	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- fig8 --json
+	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- farm --json
 
 # One-shot Fig. 8 regeneration: print every (fabric, page size) table
 # and rewrite the gated BENCH_fig8.json quality rows (the per-fabric
@@ -41,6 +42,15 @@ bench-json:
 fig8:
 	dune build bench/main.exe
 	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- fig8 --json
+
+# Regenerate the farm serving load curve and rewrite the gated
+# BENCH_farm.json rows (req/kcycle and latency quantiles at each
+# offered load; deterministic at seed 0, byte-identical at any -j),
+# then prove the fresh rows still gate against the committed baseline.
+farm:
+	dune build bench/main.exe
+	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- farm --json
+	dune exec bench/main.exe -- gate --check
 
 # Re-measure the micro and fig9 benches and compare every row against
 # the committed baselines with per-row tolerances; non-zero exit on any
@@ -63,6 +73,7 @@ profile:
 fuzz-deep:
 	dune build bin/cgra_tool.exe
 	CGRA_DOMAINS=$$(nproc) dune exec bin/cgra_tool.exe -- verify --fuzz 10000 --meld-fuzz 10000
+	CGRA_DOMAINS=$$(nproc) dune exec bin/cgra_tool.exe -- farm --fuzz 500
 
 # Drop stale/corrupt artifacts from the binary store, then report what
 # survives.  `rm -rf $(CGRA_CACHE)` is the nuclear version.

@@ -9,6 +9,7 @@
            dune exec bench/main.exe -- micro --json  (also write BENCH_micro.json)
            dune exec bench/main.exe -- fig9 --json   (also write BENCH_fig9.json)
            dune exec bench/main.exe -- fig8 --json   (also write BENCH_fig8.json)
+           dune exec bench/main.exe -- farm --json   (also write BENCH_farm.json)
            dune exec bench/main.exe -- gate          (re-run + compare baselines)
            dune exec bench/main.exe -- gate --check  (validate baselines only)
 
@@ -422,6 +423,51 @@ let run_micro ~json () =
     write_bench_json ~path:"BENCH_micro.json" ~bench:"micro" ~unit_:"ns_per_run"
       ~domains:1 ~extras:[] rows
 
+(* ----- farm: sustained-load serving rows ----- *)
+
+(* The farm rows are virtual-clock simulation outputs — deterministic
+   functions of the seed, like fig8 — so runs=1, spread=0, and the gate
+   compares them with a flat epsilon: throughput rows gate upward, the
+   latency quantiles gate downward.  Three-plus offered loads trace the
+   load curve from headroom through saturation. *)
+let farm_loads = [ 0.5; 1.0; 2.0; 4.0 ]
+
+let farm_rows ~pool ~quiet () =
+  let w = Cgra_util.Pool.width pool in
+  List.concat_map
+    (fun load ->
+      let p = { Cgra_farm.Farm.default_params with offered_load = load } in
+      match Cgra_farm.Farm.run ~pool p with
+      | Error e -> failwith (Printf.sprintf "farm load %.1f: %s" load e)
+      | Ok r ->
+          if not quiet then begin
+            print_newline ();
+            print_string (Cgra_farm.Farm.render r)
+          end;
+          let row name v =
+            { m_name = Printf.sprintf "farm load%.1f %s" load name; ns = v;
+              runs = 1; spread = 0.0; domains = w }
+          in
+          [
+            row "req/kcycle" r.Cgra_farm.Farm.throughput;
+            row "latency p50" r.Cgra_farm.Farm.latency.p50;
+            row "latency p99" r.Cgra_farm.Farm.latency.p99;
+          ])
+    farm_loads
+
+let run_farm ~pool ~json () =
+  section
+    "Farm - sustained multi-tenant load on the mixed fleet (deterministic, \
+     virtual clock)";
+  let rows = farm_rows ~pool ~quiet:false () in
+  if json then
+    write_bench_json ~path:"BENCH_farm.json" ~bench:"farm"
+      ~unit_:"req_per_kcycle|cycles" ~domains:(Cgra_util.Pool.width pool)
+      ~extras:
+        [ ("requests", string_of_int Cgra_farm.Farm.default_params.n_requests);
+          ("seed", string_of_int Cgra_farm.Farm.default_params.seed) ]
+      rows
+
 (* ----- gate: the enforced perf contract ----- *)
 
 let read_file path =
@@ -437,7 +483,7 @@ let load_baseline path =
    proves the file parses, every row has a tolerance, and the
    self-comparison passes — cheap enough for @smoke.  The full gate
    re-measures and compares for real. *)
-let run_gate ~pool ~check_only ~micro_path ~fig9_path ~fig8_path () =
+let run_gate ~pool ~check_only ~micro_path ~fig9_path ~fig8_path ~farm_path () =
   section
     (if check_only then "Bench gate - baseline validation (tolerance check only)"
      else "Bench gate - fresh measurements vs. committed baselines");
@@ -451,8 +497,9 @@ let run_gate ~pool ~check_only ~micro_path ~fig9_path ~fig8_path () =
   let micro_base = load_baseline micro_path in
   let fig9_base = load_baseline fig9_path in
   let fig8_base = load_baseline fig8_path in
-  let micro_cur, fig9_cur, fig8_cur =
-    if check_only then (micro_base, fig9_base, fig8_base)
+  let farm_base = load_baseline farm_path in
+  let micro_cur, fig9_cur, fig8_cur, farm_cur =
+    if check_only then (micro_base, fig9_base, fig8_base, farm_base)
     else begin
       let micro_rows = micro_rows ~quiet:true () in
       let micro_doc =
@@ -470,15 +517,21 @@ let run_gate ~pool ~check_only ~micro_path ~fig9_path ~fig8_path () =
         bench_doc ~bench:"fig8" ~unit_:"percent" ~domains:w ~extras:[]
           (fig8_rows ~pool ~quiet:true ())
       in
+      let farm_doc =
+        bench_doc ~bench:"farm" ~unit_:"req_per_kcycle|cycles" ~domains:w
+          ~extras:[] (farm_rows ~pool ~quiet:true ())
+      in
       ( Result.get_ok (Cgra_prof.Bench_gate.parse micro_doc),
         Result.get_ok (Cgra_prof.Bench_gate.parse fig9_doc),
-        Result.get_ok (Cgra_prof.Bench_gate.parse fig8_doc) )
+        Result.get_ok (Cgra_prof.Bench_gate.parse fig8_doc),
+        Result.get_ok (Cgra_prof.Bench_gate.parse farm_doc) )
     end
   in
   let micro_failures = gate "micro" micro_base micro_cur in
   let fig9_failures = gate "fig9" fig9_base fig9_cur in
   let fig8_failures = gate "fig8" fig8_base fig8_cur in
-  let failures = micro_failures + fig9_failures + fig8_failures in
+  let farm_failures = gate "farm" farm_base farm_cur in
+  let failures = micro_failures + fig9_failures + fig8_failures + farm_failures in
   if failures > 0 then begin
     Printf.printf "\nbench gate: %d row(s) FAILED\n" failures;
     exit 1
@@ -517,9 +570,10 @@ let () =
   let micro_path = Option.value ~default:"BENCH_micro.json" (opt_value "--micro" args) in
   let fig9_path = Option.value ~default:"BENCH_fig9.json" (opt_value "--fig9" args) in
   let fig8_path = Option.value ~default:"BENCH_fig8.json" (opt_value "--fig8" args) in
+  let farm_path = Option.value ~default:"BENCH_farm.json" (opt_value "--farm" args) in
   let rec drop_opts = function
     | [] -> []
-    | ("--micro" | "--fig9" | "--fig8") :: _ :: rest -> drop_opts rest
+    | ("--micro" | "--fig9" | "--fig8" | "--farm") :: _ :: rest -> drop_opts rest
     | ("--json" | "--check") :: rest -> drop_opts rest
     | a :: rest -> a :: drop_opts rest
   in
@@ -532,17 +586,21 @@ let () =
       | "fig8" -> run_fig8 ~pool ~json ()
       | "fig9" -> run_fig9 ~pool ~replicates:3 ~json ()
       | "micro" -> run_micro ~json ()
+      | "farm" -> run_farm ~pool ~json ()
       | "ablation" -> run_ablation ~pool ()
-      | "gate" -> run_gate ~pool ~check_only ~micro_path ~fig9_path ~fig8_path ()
+      | "gate" ->
+          run_gate ~pool ~check_only ~micro_path ~fig9_path ~fig8_path
+            ~farm_path ()
       | "all" ->
           run_fig8 ~pool ~json ();
           run_fig9 ~pool ~replicates:3 ~json ();
+          run_farm ~pool ~json ();
           run_ablation ~pool ();
           run_micro ~json ()
       | other ->
           Printf.eprintf
-            "unknown mode %s (expected fig8 | fig9 | ablation | micro | gate | \
-             all; flags: --json, --check, --micro PATH, --fig9 PATH, --fig8 \
-             PATH)\n"
+            "unknown mode %s (expected fig8 | fig9 | farm | ablation | micro | \
+             gate | all; flags: --json, --check, --micro PATH, --fig9 PATH, \
+             --fig8 PATH, --farm PATH)\n"
             other;
           exit 1)

@@ -315,11 +315,16 @@ let need_arg =
     & info [ "need" ] ~docv:"F" ~doc:"Fraction of time each thread wants the CGRA.")
 
 let policy_arg =
-  let doc = "Contention policy: $(b,halving) (the paper's) or $(b,repack)." in
+  let doc =
+    "Contention policy: $(b,halving) (the paper's), $(b,repack), or $(b,cost) \
+     (reconfiguration-cost-aware halving)."
+  in
   Arg.(
     value
     & opt
-        (enum [ ("halving", Allocator.Halving); ("repack", Allocator.Repack_equal) ])
+        (enum
+           [ ("halving", Allocator.Halving); ("repack", Allocator.Repack_equal);
+             ("cost", Allocator.Cost_halving) ])
         Allocator.Halving
     & info [ "policy" ] ~docv:"POLICY" ~doc)
 
@@ -883,6 +888,130 @@ let cmd_dot =
   Cmd.v (Cmd.info "dot" ~doc:"Print a kernel's data-flow graph in Graphviz format.")
     Term.(const run $ kernel_arg)
 
+(* ----- farm ----- *)
+
+let cmd_farm =
+  let run shards page_pes tenants requests load queue_bound max_resident seed
+      policy reconfig_cost fuzz trace_out format show_log domains =
+    Cgra_util.Pool.with_pool ?domains (fun pool ->
+        match fuzz with
+        | Some n ->
+            if n < 1 then or_die (Error "--fuzz wants a positive case count");
+            let seeds = List.init n (fun i -> seed + i) in
+            let o = Cgra_farm.Farm_fuzz.run ~pool ~seeds () in
+            Format.printf "%a@." Cgra_farm.Farm_fuzz.pp_outcome o;
+            List.iter (fun f -> print_endline ("  " ^ f)) o.Cgra_farm.Farm_fuzz.failures;
+            if o.Cgra_farm.Farm_fuzz.failures <> [] then exit 1
+        | None ->
+            if shards = [] then or_die (Error "--shards wants at least one size");
+            let p =
+              {
+                Cgra_farm.Farm.fleet =
+                  List.map (fun size -> { Cgra_farm.Farm.size; page_pes }) shards;
+                n_tenants = tenants;
+                n_requests = requests;
+                offered_load = load;
+                queue_bound;
+                max_resident;
+                seed;
+                policy;
+                reconfig_cost;
+              }
+            in
+            let r = or_die (Cgra_farm.Farm.run ~pool ~traced:true p) in
+            (* the trace must witness the run before it is worth printing
+               numbers derived from it *)
+            (match
+               Cgra_farm.Farm_fuzz.monitor ~queue_bound ~max_resident
+                 r.Cgra_farm.Farm.farm_events
+               @ Cgra_farm.Farm_fuzz.check_report r
+               @ List.concat
+                   (List.map2
+                      (fun (sr : Cgra_farm.Farm.shard_report) events ->
+                        Cgra_verify.Os_fuzz.monitor events
+                        @ Cgra_verify.Os_fuzz.replay_check
+                            sr.Cgra_farm.Farm.s_os events)
+                      r.Cgra_farm.Farm.shard_reports
+                      r.Cgra_farm.Farm.shard_events)
+             with
+            | [] -> ()
+            | es ->
+                List.iter (fun e -> print_endline ("FARM DEFECT: " ^ e)) es;
+                exit 1);
+            print_string (Cgra_farm.Farm.render ~log:show_log r);
+            (match trace_out with
+            | None -> ()
+            | Some path ->
+                export_trace ~format ~path r.Cgra_farm.Farm.farm_events))
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (list int) [ 4; 6; 8 ]
+      & info [ "shards" ] ~docv:"SIZES"
+          ~doc:"Comma-separated fabric sizes, one shard each (e.g. 4,6,8).")
+  in
+  let tenants =
+    Arg.(value & opt int 4 & info [ "tenants" ] ~docv:"N" ~doc:"Tenant count.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to offer.")
+  in
+  let load =
+    Arg.(
+      value & opt float 1.0
+      & info [ "load" ] ~docv:"F"
+          ~doc:"Offered load as a multiple of the fleet's nominal capacity.")
+  in
+  let queue_bound =
+    Arg.(
+      value & opt int 8
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:"Max queued requests per tenant before admission rejects.")
+  in
+  let max_resident =
+    Arg.(
+      value & opt int 8
+      & info [ "max-resident" ] ~docv:"N"
+          ~doc:"Max in-flight requests per shard.")
+  in
+  let fuzz =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Instead of one run: fuzz N seeded random tenant mixes through \
+             random arrival bursts and check the conservation invariants \
+             (exactly one terminal state per request, FIFO admission, \
+             bounded queues, disjoint page grants, bit-exact replay).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Export the front end's farm_* event stream to FILE.")
+  in
+  let show_log =
+    Arg.(
+      value & flag
+      & info [ "log" ] ~doc:"Print the per-request retirement log.")
+  in
+  Cmd.v
+    (Cmd.info "farm"
+       ~doc:
+         "Serve an open-loop request stream on a sharded fleet of fabrics \
+          (per-tenant FIFO queues, admission control, Os_sim page \
+          allocation as each shard's online scheduler), deterministically \
+          from a seed, and report throughput and latency quantiles.")
+    Term.(
+      const run $ shards $ page_arg $ tenants $ requests $ load $ queue_bound
+      $ max_resident $ seed_arg $ policy_arg $ reconfig_cost_arg $ fuzz
+      $ trace_out $ format_arg $ show_log $ domains_arg)
+
 (* ----- fig8 / fig9 ----- *)
 
 let cmd_fig8 =
@@ -955,5 +1084,5 @@ let () =
           [
             cmd_kernels; cmd_map; cmd_shrink; cmd_simulate; cmd_trace;
             cmd_profile; cmd_encode; cmd_compile; cmd_cache; cmd_greedy;
-            cmd_verify; cmd_dot; cmd_fig8; cmd_fig9;
+            cmd_verify; cmd_dot; cmd_farm; cmd_fig8; cmd_fig9;
           ]))

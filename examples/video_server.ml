@@ -1,100 +1,67 @@
 (* A video-server scenario: the workload the paper's introduction
-   motivates.  Four streams arrive at a 6x6 CGRA; each stream alternates
-   host-CPU work (bitstream parsing) with accelerated kernels (mpeg motion
-   compensation, yuv2rgb conversion, sobel-based deinterlacing).
+   motivates, served for real.  This example grew into the Cgra_farm
+   subsystem (lib/farm) and is now a thin client of it: tenants submit
+   mpeg / yuv2rgb / sobel requests against a mixed fleet of fabrics, the
+   front end admits and routes them, and each shard's Os_sim engine
+   multiplexes residents over its pages with PageMaster reshapes.
 
-   We run the same four threads on a single-threaded, non-preemptive CGRA
-   and on the paper's multithreaded CGRA and compare completion times,
-   utilization, and the number of PageMaster transformations the OS
-   performed.
+   Everything below is deterministic: virtual clock, seeded arrivals,
+   byte-identical output at any CGRA_DOMAINS width.
 
    Run with:  dune exec examples/video_server.exe *)
 
-open Cgra_core
+open Cgra_farm
 
 let () =
-  let arch = Option.get (Cgra_arch.Cgra.standard ~size:6 ~page_pes:4) in
-  let suite =
-    match Binary.compile_suite arch with Ok s -> s | Error e -> failwith e
-  in
-  Printf.printf "compiled the kernel suite for a 6x6 CGRA (%d pages of 4 PEs)\n\n"
-    (Cgra_arch.Cgra.n_pages arch);
-  List.iter
-    (fun (b : Binary.t) ->
-      if List.mem b.name [ "mpeg"; "yuv2rgb"; "sobel" ] then
-        Printf.printf "  %-8s II_base=%d  II_paged=%d  pages=%d\n" b.name
-          (Binary.ii_base b) (Binary.ii_paged b) (Binary.pages_used b))
-    suite;
-
-  (* four streams; staggered arrival is modelled by leading CPU segments *)
-  let stream id arrival =
-    {
-      Thread_model.id;
-      segments =
-        [
-          Thread_model.Cpu (arrival + 50);
-          Thread_model.Kernel { kernel = "mpeg"; iterations = 120 };
-          Thread_model.Cpu 60;
-          Thread_model.Kernel { kernel = "yuv2rgb"; iterations = 100 };
-          Thread_model.Cpu 40;
-          Thread_model.Kernel { kernel = "sobel"; iterations = 80 };
-        ];
-    }
-  in
-  let threads = [ stream 0 0; stream 1 40; stream 2 80; stream 3 120 ] in
-  let run mode =
-    Os_sim.run { suite; threads; total_pages = Cgra_arch.Cgra.n_pages arch; mode }
-  in
-  let single = run Os_sim.Single in
-  let multi = run Os_sim.Multi in
-  let show label (r : Os_sim.result_t) =
-    Printf.printf
-      "\n%s:\n  makespan %.0f cycles, CGRA IPC %.2f, page utilization %.1f%%\n\
-      \  stalls %d, PageMaster transformations %d\n"
-      label r.makespan r.ipc (100.0 *. r.page_utilization) r.stalls r.transformations;
-    List.iter
-      (fun (id, f) -> Printf.printf "  stream %d done at %.0f\n" id f)
-      (List.sort compare r.finishes)
-  in
-  show "single-threaded CGRA (today's systems)" single;
-  show "multithreaded CGRA (this paper)" multi;
-  Printf.printf "\nthroughput improvement: %+.1f%%\n"
-    (Os_sim.improvement_percent ~single ~multi);
-
-  (* Re-run the multithreaded case with tracing on: the event stream
-     shows the dynamics the aggregates hide — who waited how long, and
-     every PageMaster reshape with its before/after page ranges. *)
-  let trace = Cgra_trace.Trace.make () in
-  let traced =
-    Os_sim.run ~trace
-      { suite; threads; total_pages = Cgra_arch.Cgra.n_pages arch;
-        mode = Os_sim.Multi }
-  in
-  assert (traced = multi) (* tracing never changes the simulation *);
-  let events = Cgra_trace.Trace.events trace in
-  let ws = Cgra_trace.Replay.wait_statistics events in
+  let base = { Farm.default_params with n_requests = 100 } in
   Printf.printf
-    "\ntraced the multithreaded run: %d events\n\
-    \  queue: %d waits served, mean %.0f cycles, max %.0f\n"
-    (List.length events) ws.Cgra_trace.Replay.n ws.Cgra_trace.Replay.mean
-    ws.Cgra_trace.Replay.max;
+    "video serving on a mixed CGRA fleet (%s), %d tenants, kernels: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (s : Farm.shard_spec) -> Printf.sprintf "%dx%d" s.size s.size)
+          base.Farm.fleet))
+    base.Farm.n_tenants
+    (String.concat " / " (Array.to_list Farm.mix));
+
+  (* the load curve: headroom, nominal, saturated *)
   List.iter
-    (fun (e : Cgra_trace.Trace.event) ->
-      match e.payload with
-      | Cgra_trace.Trace.Reshape r ->
-          Printf.printf "  t=%-6.0f PageMaster %s stream %d: pages [%d+%d] -> [%d+%d]\n"
-            e.time
-            (match r.kind with
-            | Cgra_trace.Trace.Shrink -> "shrinks"
-            | Cgra_trace.Trace.Expand -> "expands"
-            | Cgra_trace.Trace.Move -> "moves")
-            r.thread r.before.base r.before.len r.after.base r.after.len
-      | _ -> ())
-    events;
-  let out = "video_server.trace.json" in
-  let oc = open_out out in
-  output_string oc (Cgra_trace.Export.chrome events);
-  close_out oc;
-  Printf.printf "\nwrote %s - load it at https://ui.perfetto.dev to see the\n\
-                 streams' kernel slices, waits, and the allocated-pages track\n"
-    out
+    (fun load ->
+      match Farm.run { base with offered_load = load } with
+      | Error e -> failwith e
+      | Ok r ->
+          print_newline ();
+          print_string (Farm.render r))
+    [ 0.5; 1.0; 4.0 ];
+
+  (* one saturated run with tracing on: the farm_* stream shows each
+     request's queued -> admitted -> resident -> retired spans, and each
+     shard's OS stream shows the reshapes that made room for it *)
+  match Farm.run ~traced:true { base with offered_load = 4.0 } with
+  | Error e -> failwith e
+  | Ok r ->
+      let reshapes =
+        List.fold_left
+          (fun acc events ->
+            acc
+            + List.length
+                (List.filter
+                   (fun (e : Cgra_trace.Trace.event) ->
+                     match e.Cgra_trace.Trace.payload with
+                     | Cgra_trace.Trace.Reshape _ -> true
+                     | _ -> false)
+                   events))
+          0 r.Farm.shard_events
+      in
+      Printf.printf
+        "\ntraced the saturated run: %d farm events, %d PageMaster reshapes \
+         across the fleet\n"
+        (List.length r.Farm.farm_events)
+        reshapes;
+      let out = "video_server.trace.json" in
+      let oc = open_out out in
+      output_string oc (Cgra_trace.Export.chrome r.Farm.farm_events);
+      close_out oc;
+      Printf.printf
+        "wrote %s - load it at https://ui.perfetto.dev to see each request's\n\
+         queued / shard-resident spans on the farm track\n"
+        out

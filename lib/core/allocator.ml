@@ -1,6 +1,6 @@
 type range = { base : int; len : int }
 
-type policy = Halving | Repack_equal
+type policy = Halving | Repack_equal | Cost_halving
 
 type seg = { range : range; owner : int option (* None = free *) }
 
@@ -123,9 +123,15 @@ let request t ~client ~desired =
           | None, _ -> Some ("free", trace_range s.range)
           | Some o, Halving when s.range.len >= 2 ->
               Some (Printf.sprintf "halve c%d" o, trace_range s.range)
+          | Some o, Cost_halving when s.range.len >= 2 ->
+              (* the rewrite cost of halving this victim: the kept half the
+                 PageMaster must re-fold *)
+              Some
+                ( Printf.sprintf "halve c%d cost=%d" o (s.range.len / 2),
+                  trace_range s.range )
           | Some o, Repack_equal ->
               Some (Printf.sprintf "repack c%d" o, trace_range s.range)
-          | Some _, Halving -> None)
+          | Some _, (Halving | Cost_halving) -> None)
         t.segs
     else []
   in
@@ -134,6 +140,25 @@ let request t ~client ~desired =
       (Cgra_trace.Trace.Alloc_decision
          { client; desired; granted = Option.map trace_range granted; considered });
     granted
+  in
+  let halve victim =
+    let r = victim.range in
+    let keep = r.len / 2 in
+    let kept = { range = { base = r.base; len = keep }; owner = victim.owner } in
+    let freed =
+      { range = { base = r.base + keep; len = r.len - keep }; owner = None }
+    in
+    t.segs <-
+      normalize
+        (List.concat_map
+           (fun s -> if s == victim then [ kept; freed ] else [ s ])
+           t.segs);
+    let free_seg =
+      match List.find_opt (fun s -> s.range.base = freed.range.base) t.segs with
+      | Some s -> s
+      | None -> assert false
+    in
+    Some (carve t ~client ~want:desired free_seg)
   in
   let contended () =
     match t.policy with
@@ -149,24 +174,36 @@ let request t ~client ~desired =
         | None ->
             Hashtbl.remove t.desired client;
             None
-        | Some victim ->
-            let r = victim.range in
-            let keep = r.len / 2 in
-            let kept = { range = { base = r.base; len = keep }; owner = victim.owner } in
-            let freed =
-              { range = { base = r.base + keep; len = r.len - keep }; owner = None }
-            in
-            t.segs <-
-              normalize
-                (List.concat_map
-                   (fun s -> if s == victim then [ kept; freed ] else [ s ])
-                   t.segs);
-            let free_seg =
-              match List.find_opt (fun s -> s.range.base = freed.range.base) t.segs with
-              | Some s -> s
-              | None -> assert false
-            in
-            Some (carve t ~client ~want:desired free_seg))
+        | Some victim -> halve victim)
+    | Cost_halving -> (
+        (* cost-aware victim pick: among residents whose freed half would
+           cover the request, shrink the one whose kept half — the pages
+           the PageMaster must re-fold, i.e. the Reshape cost — is
+           smallest (lowest base on ties, since segs are base-sorted);
+           when nobody's freed half is big enough, fall back to the
+           classic largest victim so the grant is never smaller than
+           under [Halving] *)
+        let shrinkable s = s.owner <> None && s.range.len >= 2 in
+        let sufficient =
+          List.filter
+            (fun s -> shrinkable s && s.range.len - (s.range.len / 2) >= desired)
+            t.segs
+        in
+        let victim =
+          match sufficient with
+          | v :: rest ->
+              Some
+                (List.fold_left
+                   (fun best s ->
+                     if s.range.len / 2 < best.range.len / 2 then s else best)
+                   v rest)
+          | [] -> largest shrinkable t
+        in
+        match victim with
+        | None ->
+            Hashtbl.remove t.desired client;
+            None
+        | Some victim -> halve victim)
   in
   match largest (fun s -> s.owner = None) t with
   | Some free_seg -> decided (Some (carve t ~client ~want:desired free_seg))

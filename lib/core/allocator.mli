@@ -23,6 +23,13 @@ type policy =
   | Repack_equal
       (** ablation: on contention, repack every resident to an equal
           contiguous share (more transformations, fairer splits) *)
+  | Cost_halving
+      (** reconfiguration-cost-aware halving: among residents whose freed
+          half covers the request, shrink the one whose kept half (the
+          pages the PageMaster must re-fold — the per-reshape cost the
+          [Reshape]/[Alloc_decision] trace events record) is smallest;
+          falls back to the largest victim when none is big enough, so a
+          grant is never smaller than under [Halving] *)
 
 type t
 

@@ -48,97 +48,138 @@ let improvement_percent ~single ~multi =
   Cgra_util.Stats.improvement_percent ~baseline:single.makespan
     ~improved:multi.makespan
 
-let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
-    ?(trace = Cgra_trace.Trace.null) p =
-  if p.threads = [] then invalid_arg "Os_sim.run: no threads";
-  if reconfig_cost < 0.0 then invalid_arg "Os_sim.run: negative reconfig cost";
-  let module T = Cgra_trace.Trace in
-  let tracing = T.enabled trace in
-  let binary name =
-    match List.find_opt (fun (b : Binary.t) -> b.name = name) p.suite with
+module T = Cgra_trace.Trace
+
+module Engine = struct
+  type t = {
+    suite : Binary.t list;
+    total_pages : int;
+    mode : mode;
+    reconfig_cost : float;
+    trace : T.t;
+    tracing : bool;
+    alloc : Allocator.t;
+    threads : thread_rec Queue.t;  (* submission order — resync iterates it *)
+    by_id : (int, thread_rec) Hashtbl.t;
+    waiters : int Queue.t;
+    running_kernel : (int, Binary.t) Hashtbl.t;
+    mutable cgra_busy_single : bool;
+    mutable transformations : int;
+    mutable stalls : int;
+    mutable busy_page_cycles : float;
+    mutable total_ops : float;
+    mutable queue : (float, int * int) Cgra_util.Pqueue.t;
+    mutable unfinished : int;
+    mutable on_finish : int -> float -> unit;
+    mutable on_grant : int -> float -> unit;
+  }
+
+  let create ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
+      ?(trace = T.null) ?(n_threads = 0) ~suite ~total_pages ~mode () =
+    if reconfig_cost < 0.0 then invalid_arg "Os_sim.run: negative reconfig cost";
+    let tracing = T.enabled trace in
+    let alloc = Allocator.create ~policy ~trace ~total_pages () in
+    if tracing then begin
+      (* fabric geometry, so post-hoc analyzers (row-bus contention) need no
+         arch arguments: every binary in a suite shares one fabric *)
+      let rows, mem_ports =
+        match suite with
+        | [] -> (0, 0)
+        | b :: _ ->
+            let a = b.Binary.paged.Cgra_mapper.Mapping.arch in
+            (a.Cgra_arch.Cgra.grid.Cgra_arch.Grid.rows,
+             a.Cgra_arch.Cgra.mem_ports_per_row)
+      in
+      T.emit_at trace ~time:0.0
+        (T.Run_begin
+           {
+             mode = (match mode with Single -> "single" | Multi -> "multi");
+             total_pages;
+             n_threads;
+             policy =
+               (match policy with
+               | Allocator.Halving -> "halving"
+               | Allocator.Repack_equal -> "repack_equal"
+               | Allocator.Cost_halving -> "cost_halving");
+             reconfig_cost;
+             rows;
+             mem_ports;
+           })
+    end;
+    {
+      suite;
+      total_pages;
+      mode;
+      reconfig_cost;
+      trace;
+      tracing;
+      alloc;
+      threads = Queue.create ();
+      by_id = Hashtbl.create 16;
+      waiters = Queue.create ();
+      running_kernel = Hashtbl.create 16;
+      cgra_busy_single = false;
+      transformations = 0;
+      stalls = 0;
+      busy_page_cycles = 0.0;
+      total_ops = 0.0;
+      queue = Cgra_util.Pqueue.empty ~cmp:Float.compare;
+      unfinished = 0;
+      on_finish = (fun _ _ -> ());
+      on_grant = (fun _ _ -> ());
+    }
+
+  let set_on_finish e f = e.on_finish <- f
+  let set_on_grant e f = e.on_grant <- f
+
+  let binary e name =
+    match List.find_opt (fun (b : Binary.t) -> b.name = name) e.suite with
     | Some b -> b
     | None -> invalid_arg ("Os_sim.run: unknown kernel " ^ name)
-  in
-  let threads =
-    List.map (fun (t : Thread_model.t) -> { id = t.id; state = Done 0.0; gen = 0 })
-      p.threads
-  in
-  let by_id = Hashtbl.create 16 in
-  List.iter (fun t -> Hashtbl.replace by_id t.id t) threads;
-  let alloc = Allocator.create ~policy ~trace ~total_pages:p.total_pages () in
-  if tracing then begin
-    (* fabric geometry, so post-hoc analyzers (row-bus contention) need no
-       arch arguments: every binary in a suite shares one fabric *)
-    let rows, mem_ports =
-      match p.suite with
-      | [] -> (0, 0)
-      | b :: _ ->
-          let a = b.Binary.paged.Cgra_mapper.Mapping.arch in
-          (a.Cgra_arch.Cgra.grid.Cgra_arch.Grid.rows,
-           a.Cgra_arch.Cgra.mem_ports_per_row)
-    in
-    T.emit_at trace ~time:0.0
-      (T.Run_begin
-         {
-           mode = (match p.mode with Single -> "single" | Multi -> "multi");
-           total_pages = p.total_pages;
-           n_threads = List.length p.threads;
-           policy =
-             (match policy with
-             | Allocator.Halving -> "halving"
-             | Allocator.Repack_equal -> "repack_equal");
-           reconfig_cost;
-           rows;
-           mem_ports;
-         })
-  end;
-  let waiters : int Queue.t = Queue.create () in
-  let running_kernel : (int, Binary.t) Hashtbl.t = Hashtbl.create 16 in
-  let cgra_busy_single = ref false in
-  let transformations = ref 0 in
-  let stalls = ref 0 in
-  let busy_page_cycles = ref 0.0 in
-  let total_ops = ref 0.0 in
-  let queue = ref (Cgra_util.Pqueue.empty ~cmp:Float.compare) in
-  let post time tid gen = queue := Cgra_util.Pqueue.push !queue time (tid, gen) in
-  let settle now t =
+
+  let post e time tid gen = e.queue <- Cgra_util.Pqueue.push e.queue time (tid, gen)
+
+  let settle e now t =
     match t.state with
     | On_cgra k ->
         let elapsed = now -. k.last_update in
         if elapsed > 0.0 then begin
           k.iters_left <- k.iters_left -. (elapsed /. k.rate);
-          busy_page_cycles := !busy_page_cycles +. (elapsed *. float_of_int k.pages);
+          e.busy_page_cycles <-
+            e.busy_page_cycles +. (elapsed *. float_of_int k.pages);
           (* one occupancy sample per accrual: Replay re-sums these in
              stream order to reproduce busy_page_cycles bit-exactly *)
-          if tracing then
-            T.emit_at trace ~time:now
+          if e.tracing then
+            T.emit_at e.trace ~time:now
               (T.Occupancy { thread = t.id; pages = k.pages; elapsed });
           k.last_update <- now
         end
     | On_cpu _ | Waiting _ | Done _ -> ()
-  in
-  let reschedule now t =
+
+  let reschedule e now t =
     match t.state with
     | On_cgra k ->
         t.gen <- t.gen + 1;
-        post (now +. (Float.max 0.0 k.iters_left *. k.rate)) t.id t.gen
+        post e (now +. (Float.max 0.0 k.iters_left *. k.rate)) t.id t.gen
     | On_cpu _ | Waiting _ | Done _ -> ()
-  in
-  let rate_for tid pages =
-    float_of_int (Binary.iteration_cycles (Hashtbl.find running_kernel tid) ~pages)
-  in
+
+  let rate_for e tid pages =
+    float_of_int
+      (Binary.iteration_cycles (Hashtbl.find e.running_kernel tid) ~pages)
+
   (* Multi mode: after any allocator change, refresh every running
      kernel whose allocation moved (a PageMaster shrink or expand). *)
-  let resync now =
-    List.iter
+  let resync e now =
+    Queue.iter
       (fun t ->
         match t.state with
         | On_cgra k -> (
-            match Allocator.allocation alloc ~client:t.id with
-            | Some r when r.Allocator.len <> k.pages || r.Allocator.base <> k.base ->
-                settle now t;
-                let rate = rate_for t.id r.Allocator.len in
-                if tracing then begin
+            match Allocator.allocation e.alloc ~client:t.id with
+            | Some r when r.Allocator.len <> k.pages || r.Allocator.base <> k.base
+              ->
+                settle e now t;
+                let rate = rate_for e t.id r.Allocator.len in
+                if e.tracing then begin
                   let before = { T.base = k.base; len = k.pages } in
                   let after = { T.base = r.Allocator.base; len = r.Allocator.len } in
                   let kind =
@@ -146,8 +187,8 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
                     else if after.T.len > before.T.len then T.Expand
                     else T.Move
                   in
-                  T.count trace "os.reshapes" 1.0;
-                  T.emit_at trace ~time:now
+                  T.count e.trace "os.reshapes" 1.0;
+                  T.emit_at e.trace ~time:now
                     (T.Reshape
                        {
                          thread = t.id;
@@ -155,214 +196,266 @@ let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
                          before;
                          after;
                          pages_rewritten = after.T.len;
-                         cost = reconfig_cost;
+                         cost = e.reconfig_cost;
                          rate;
                        })
                 end;
                 k.pages <- r.Allocator.len;
                 k.base <- r.Allocator.base;
                 k.rate <- rate;
-                incr transformations;
+                e.transformations <- e.transformations + 1;
                 (* the kernel makes no progress while being reshaped *)
-                k.last_update <- now +. reconfig_cost;
+                k.last_update <- now +. e.reconfig_cost;
                 t.gen <- t.gen + 1;
-                post (now +. reconfig_cost +. (Float.max 0.0 k.iters_left *. k.rate))
+                post e
+                  (now +. e.reconfig_cost +. (Float.max 0.0 k.iters_left *. k.rate))
                   t.id t.gen
             | Some _ | None -> ())
         | On_cpu _ | Waiting _ | Done _ -> ())
-      threads
-  in
-  let rec advance now t segments =
+      e.threads
+
+  let rec advance e now t segments =
     match segments with
     | [] ->
         t.state <- Done now;
-        if tracing then T.emit_at trace ~time:now (T.Thread_finish { thread = t.id })
+        e.unfinished <- e.unfinished - 1;
+        if e.tracing then
+          T.emit_at e.trace ~time:now (T.Thread_finish { thread = t.id });
+        e.on_finish t.id now
     | Thread_model.Cpu c :: rest ->
         t.state <- On_cpu rest;
         t.gen <- t.gen + 1;
-        post (now +. float_of_int c) t.id t.gen
+        post e (now +. float_of_int c) t.id t.gen
     | Thread_model.Kernel { kernel; iterations } :: rest ->
-        let segment_ops = ops_of (binary kernel) * iterations in
-        total_ops := !total_ops +. float_of_int segment_ops;
-        if tracing then
-          T.emit_at trace ~time:now
+        let segment_ops = ops_of (binary e kernel) * iterations in
+        e.total_ops <- e.total_ops +. float_of_int segment_ops;
+        if e.tracing then
+          T.emit_at e.trace ~time:now
             (T.Kernel_request
                {
                  thread = t.id;
                  kernel;
                  iterations;
                  ops = segment_ops;
-                 mem = Cgra_dfg.Graph.mem_node_count (binary kernel).graph;
-                 desired = Binary.pages_used (binary kernel);
+                 mem = Cgra_dfg.Graph.mem_node_count (binary e kernel).graph;
+                 desired = Binary.pages_used (binary e kernel);
                });
-        start_kernel now t ~kernel ~iterations ~rest
+        start_kernel e now t ~kernel ~iterations ~rest
+
   (* [enqueue] is false when the thread is already the front entry of
      [waiters] (a retry from [serve]): it must neither be re-enqueued —
      that would leave a duplicate queue entry — nor counted as a fresh
      stall. *)
-  and record_stall now t ~kernel =
-    incr stalls;
-    Queue.add t.id waiters;
-    if tracing then begin
-      T.count trace "os.stalls" 1.0;
-      T.emit_at trace ~time:now
-        (T.Kernel_stall { thread = t.id; kernel; queue_depth = Queue.length waiters })
+  and record_stall e now t ~kernel =
+    e.stalls <- e.stalls + 1;
+    Queue.add t.id e.waiters;
+    if e.tracing then begin
+      T.count e.trace "os.stalls" 1.0;
+      T.emit_at e.trace ~time:now
+        (T.Kernel_stall
+           { thread = t.id; kernel; queue_depth = Queue.length e.waiters })
     end
-  and record_grant now t ~kernel ~base ~pages ~shrunk ~cost ~rate =
-    if tracing then begin
-      T.count trace "os.grants" 1.0;
-      T.emit_at trace ~time:now
+
+  and record_grant e now t ~kernel ~base ~pages ~shrunk ~cost ~rate =
+    if e.tracing then begin
+      T.count e.trace "os.grants" 1.0;
+      T.emit_at e.trace ~time:now
         (T.Kernel_grant
            { thread = t.id; kernel; range = { T.base; len = pages }; shrunk; cost;
              rate })
-    end
-  and start_kernel ?(enqueue = true) now t ~kernel ~iterations ~rest =
-    let b = binary kernel in
-    match p.mode with
+    end;
+    e.on_grant t.id now
+
+  and start_kernel ?(enqueue = true) e now t ~kernel ~iterations ~rest =
+    let b = binary e kernel in
+    match e.mode with
     | Single ->
-        if !cgra_busy_single then begin
-          if enqueue then record_stall now t ~kernel;
+        if e.cgra_busy_single then begin
+          if enqueue then record_stall e now t ~kernel;
           t.state <- Waiting (kernel, iterations, rest)
         end
         else begin
-          cgra_busy_single := true;
-          Hashtbl.replace running_kernel t.id b;
+          e.cgra_busy_single <- true;
+          Hashtbl.replace e.running_kernel t.id b;
           let rate = float_of_int (Binary.ii_base b) in
-          record_grant now t ~kernel ~base:0 ~pages:p.total_pages ~shrunk:false
+          record_grant e now t ~kernel ~base:0 ~pages:e.total_pages ~shrunk:false
             ~cost:0.0 ~rate;
           t.state <-
             On_cgra
-              { iters_left = float_of_int iterations; rate; pages = p.total_pages;
+              { iters_left = float_of_int iterations; rate; pages = e.total_pages;
                 base = 0; last_update = now; rest };
           t.gen <- t.gen + 1;
-          post (now +. (float_of_int iterations *. rate)) t.id t.gen
+          post e (now +. (float_of_int iterations *. rate)) t.id t.gen
         end
     | Multi -> (
-        let desired = max 1 (min (Binary.pages_used b) p.total_pages) in
-        Hashtbl.replace running_kernel t.id b;
-        T.set_clock trace now;
-        match Allocator.request alloc ~client:t.id ~desired with
+        let desired = max 1 (min (Binary.pages_used b) e.total_pages) in
+        Hashtbl.replace e.running_kernel t.id b;
+        T.set_clock e.trace now;
+        match Allocator.request e.alloc ~client:t.id ~desired with
         | None ->
-            Hashtbl.remove running_kernel t.id;
-            if enqueue then record_stall now t ~kernel;
+            Hashtbl.remove e.running_kernel t.id;
+            if enqueue then record_stall e now t ~kernel;
             t.state <- Waiting (kernel, iterations, rest)
         | Some r ->
             let shrunk_entry = r.Allocator.len < desired in
-            if shrunk_entry then incr transformations;
-            let entry_cost = if shrunk_entry then reconfig_cost else 0.0 in
-            let rate = rate_for t.id r.Allocator.len in
+            if shrunk_entry then e.transformations <- e.transformations + 1;
+            let entry_cost = if shrunk_entry then e.reconfig_cost else 0.0 in
+            let rate = rate_for e t.id r.Allocator.len in
             t.state <-
               On_cgra
-                { iters_left = float_of_int iterations; rate; pages = r.Allocator.len;
-                  base = r.Allocator.base; last_update = now +. entry_cost; rest };
+                { iters_left = float_of_int iterations; rate;
+                  pages = r.Allocator.len; base = r.Allocator.base;
+                  last_update = now +. entry_cost; rest };
             t.gen <- t.gen + 1;
-            post (now +. entry_cost +. (float_of_int iterations *. rate)) t.id t.gen;
+            post e (now +. entry_cost +. (float_of_int iterations *. rate)) t.id
+              t.gen;
             (* the request may have shrunk a victim; PageMaster reshapes it
                before the newcomer occupies the freed half, so the victim's
                Reshape event must precede the newcomer's grant *)
-            resync now;
-            record_grant now t ~kernel ~base:r.Allocator.base ~pages:r.Allocator.len
-              ~shrunk:shrunk_entry ~cost:entry_cost ~rate)
+            resync e now;
+            record_grant e now t ~kernel ~base:r.Allocator.base
+              ~pages:r.Allocator.len ~shrunk:shrunk_entry ~cost:entry_cost ~rate)
+
   (* The waiter stays at the front of [waiters] while it retries; the
      caller pops it only on success. *)
-  and try_start_waiter now wid =
-    let w = Hashtbl.find by_id wid in
+  and try_start_waiter e now wid =
+    let w = Hashtbl.find e.by_id wid in
     match w.state with
     | Waiting (kernel, iterations, rest) -> (
-        start_kernel ~enqueue:false now w ~kernel ~iterations ~rest;
+        start_kernel ~enqueue:false e now w ~kernel ~iterations ~rest;
         match w.state with Waiting _ -> false | _ -> true)
     | On_cpu _ | On_cgra _ | Done _ -> true (* stale entry; drop it *)
-  and record_release now t ~base ~pages =
-    if tracing then
+
+  and record_release e now t ~base ~pages =
+    if e.tracing then
       let kernel =
-        match Hashtbl.find_opt running_kernel t.id with
+        match Hashtbl.find_opt e.running_kernel t.id with
         | Some (b : Binary.t) -> b.name
         | None -> "?"
       in
-      T.emit_at trace ~time:now
+      T.emit_at e.trace ~time:now
         (T.Kernel_release { thread = t.id; kernel; range = { T.base; len = pages } })
-  and finish_kernel now t rest =
-    (match p.mode with
+
+  and finish_kernel e now t rest =
+    (match e.mode with
     | Single -> (
-        record_release now t ~base:0 ~pages:p.total_pages;
-        cgra_busy_single := false;
-        Hashtbl.remove running_kernel t.id;
-        match Queue.peek_opt waiters with
-        | Some wid -> if try_start_waiter now wid then ignore (Queue.take waiters)
+        record_release e now t ~base:0 ~pages:e.total_pages;
+        e.cgra_busy_single <- false;
+        Hashtbl.remove e.running_kernel t.id;
+        match Queue.peek_opt e.waiters with
+        | Some wid -> if try_start_waiter e now wid then ignore (Queue.take e.waiters)
         | None -> ())
     | Multi ->
-        (if tracing then
-           match Allocator.allocation alloc ~client:t.id with
-           | Some r -> record_release now t ~base:r.Allocator.base ~pages:r.Allocator.len
+        (if e.tracing then
+           match Allocator.allocation e.alloc ~client:t.id with
+           | Some r ->
+               record_release e now t ~base:r.Allocator.base ~pages:r.Allocator.len
            | None -> ());
-        T.set_clock trace now;
-        Allocator.release alloc ~client:t.id;
-        Hashtbl.remove running_kernel t.id;
+        T.set_clock e.trace now;
+        Allocator.release e.alloc ~client:t.id;
+        Hashtbl.remove e.running_kernel t.id;
         let rec serve () =
-          match Queue.peek_opt waiters with
+          match Queue.peek_opt e.waiters with
           | None -> ()
           | Some wid ->
-              if try_start_waiter now wid then begin
-                ignore (Queue.take waiters);
+              if try_start_waiter e now wid then begin
+                ignore (Queue.take e.waiters);
                 serve ()
               end
         in
         serve ();
-        ignore (Allocator.expand alloc);
-        resync now);
-    advance now t rest
-  in
-  (* kick off *)
-  List.iter2
-    (fun t (spec : Thread_model.t) ->
-      if tracing then
-        T.emit_at trace ~time:0.0
-          (T.Thread_arrival
-             { thread = t.id; segments = List.length spec.segments });
-      advance 0.0 t spec.segments)
-    threads p.threads;
-  let rec loop () =
-    match Cgra_util.Pqueue.pop !queue with
-    | None -> ()
+        ignore (Allocator.expand e.alloc);
+        resync e now);
+    advance e now t rest
+
+  let submit e ~at (spec : Thread_model.t) =
+    if Hashtbl.mem e.by_id spec.id then
+      invalid_arg "Os_sim.Engine.submit: duplicate thread id";
+    let t = { id = spec.id; state = Done at; gen = 0 } in
+    Queue.add t e.threads;
+    Hashtbl.replace e.by_id t.id t;
+    e.unfinished <- e.unfinished + 1;
+    if e.tracing then
+      T.emit_at e.trace ~time:at
+        (T.Thread_arrival { thread = t.id; segments = List.length spec.segments });
+    advance e at t spec.segments
+
+  let next_event e =
+    match Cgra_util.Pqueue.peek e.queue with
+    | Some (time, _) -> Some time
+    | None -> None
+
+  let step e =
+    match Cgra_util.Pqueue.pop e.queue with
+    | None -> false
     | Some ((now, (tid, gen)), rest) ->
-        queue := rest;
-        let t = Hashtbl.find by_id tid in
+        e.queue <- rest;
+        let t = Hashtbl.find e.by_id tid in
         if gen = t.gen then begin
           match t.state with
-          | On_cpu segs -> advance now t segs
+          | On_cpu segs -> advance e now t segs
           | On_cgra k ->
-              settle now t;
-              if k.iters_left <= 1e-6 then finish_kernel now t k.rest
-              else reschedule now t
+              settle e now t;
+              if k.iters_left <= 1e-6 then finish_kernel e now t k.rest
+              else reschedule e now t
           | Waiting _ | Done _ -> ()
         end;
-        loop ()
+        true
+
+  let rec run_until e time =
+    match next_event e with
+    | Some te when te <= time ->
+        ignore (step e);
+        run_until e time
+    | Some _ | None -> ()
+
+  let rec drain e = if step e then drain e
+
+  let in_flight e = e.unfinished
+  let free_pages e = Allocator.free_pages e.alloc
+  let used_page_fraction e =
+    float_of_int (e.total_pages - Allocator.free_pages e.alloc)
+    /. float_of_int e.total_pages
+
+  let result e =
+    let finishes =
+      Queue.fold
+        (fun acc t ->
+          match t.state with
+          | Done time -> (t.id, time) :: acc
+          | On_cpu _ | Waiting _ | On_cgra _ ->
+              invalid_arg "Os_sim.run: deadlock — a thread never finished")
+        [] e.threads
+      |> List.rev
+    in
+    let makespan = List.fold_left (fun acc (_, f) -> Float.max acc f) 0.0 finishes in
+    if e.tracing then begin
+      T.count e.trace "os.transformations" (float_of_int e.transformations);
+      T.emit_at e.trace ~time:makespan (T.Run_end { makespan })
+    end;
+    {
+      makespan;
+      finishes;
+      total_ops = e.total_ops;
+      ipc = (if makespan > 0.0 then e.total_ops /. makespan else 0.0);
+      busy_page_cycles = e.busy_page_cycles;
+      page_utilization =
+        (if makespan > 0.0 then
+           e.busy_page_cycles /. (makespan *. float_of_int e.total_pages)
+         else 0.0);
+      transformations = e.transformations;
+      stalls = e.stalls;
+    }
+end
+
+let run ?(policy = Allocator.Halving) ?(reconfig_cost = 0.0)
+    ?(trace = Cgra_trace.Trace.null) p =
+  if p.threads = [] then invalid_arg "Os_sim.run: no threads";
+  let e =
+    Engine.create ~policy ~reconfig_cost ~trace
+      ~n_threads:(List.length p.threads) ~suite:p.suite
+      ~total_pages:p.total_pages ~mode:p.mode ()
   in
-  loop ();
-  let finishes =
-    List.map
-      (fun t ->
-        match t.state with
-        | Done time -> (t.id, time)
-        | On_cpu _ | Waiting _ | On_cgra _ ->
-            invalid_arg "Os_sim.run: deadlock — a thread never finished")
-      threads
-  in
-  let makespan = List.fold_left (fun acc (_, f) -> Float.max acc f) 0.0 finishes in
-  if tracing then begin
-    T.count trace "os.transformations" (float_of_int !transformations);
-    T.emit_at trace ~time:makespan (T.Run_end { makespan })
-  end;
-  {
-    makespan;
-    finishes;
-    total_ops = !total_ops;
-    ipc = (if makespan > 0.0 then !total_ops /. makespan else 0.0);
-    busy_page_cycles = !busy_page_cycles;
-    page_utilization =
-      (if makespan > 0.0 then
-         !busy_page_cycles /. (makespan *. float_of_int p.total_pages)
-       else 0.0);
-    transformations = !transformations;
-    stalls = !stalls;
-  }
+  List.iter (fun spec -> Engine.submit e ~at:0.0 spec) p.threads;
+  Engine.drain e;
+  Engine.result e

@@ -35,6 +35,82 @@ type result_t = {
   stalls : int;  (** kernel requests that had to queue *)
 }
 
+module Engine : sig
+  (** The incremental, event-driven core of the simulator.
+
+      {!run} is a thin wrapper: create, submit every thread at time 0,
+      drain, read the result — and is event-for-event identical to the
+      historical closed-batch simulator.  An open system (the
+      {!Cgra_farm} front end) instead interleaves {!submit} calls at
+      arrival times with {!step}/{!run_until}, using the engine as the
+      online scheduler of one fabric shard.
+
+      Time must be driven monotonically: a {!submit} at time [at] is only
+      valid when every queued internal event at a strictly earlier time
+      has already been stepped (use {!next_event}/{!run_until}). *)
+
+  type t
+
+  val create :
+    ?policy:Allocator.policy ->
+    ?reconfig_cost:float ->
+    ?trace:Cgra_trace.Trace.t ->
+    ?n_threads:int ->
+    suite:Binary.t list ->
+    total_pages:int ->
+    mode:mode ->
+    unit ->
+    t
+  (** [n_threads] (default 0) only stamps the [Run_begin] trace header —
+      an open system does not know its population up front. *)
+
+  val submit : t -> at:float -> Thread_model.t -> unit
+  (** Admit a thread at time [at]: emits its [Thread_arrival] and starts
+      its first segment immediately (so a kernel-first thread requests
+      pages at [at]).  Raises [Invalid_argument] on duplicate ids or
+      unknown kernels. *)
+
+  val next_event : t -> float option
+  (** Time of the earliest pending internal event, or [None] when idle.
+      May name a superseded (stale-generation) event; stepping it is a
+      harmless no-op, so callers interleaving external arrivals can
+      simply compare times and step. *)
+
+  val step : t -> bool
+  (** Process one pending event; [false] when the queue is empty. *)
+
+  val run_until : t -> float -> unit
+  (** Step every pending event with time [<=] the given bound. *)
+
+  val drain : t -> unit
+  (** Step until idle. *)
+
+  val in_flight : t -> int
+  (** Submitted threads that have not yet finished. *)
+
+  val free_pages : t -> int
+
+  val used_page_fraction : t -> float
+  (** Allocated fraction of the fabric, in [0, 1] — the load signal the
+      farm's shard picker reads. *)
+
+  val set_on_finish : t -> (int -> float -> unit) -> unit
+  (** Called as [f id time] whenever a thread finishes (at
+      [Thread_finish] emission).  The callback must not re-enter the
+      engine; record the notification and act after {!step} returns. *)
+
+  val set_on_grant : t -> (int -> float -> unit) -> unit
+  (** Called as [f id time] at every kernel grant (first grant = the
+      thread became resident on the fabric).  Same re-entrancy rule as
+      {!set_on_finish}. *)
+
+  val result : t -> result_t
+  (** Aggregate over every submitted thread, in submission order; also
+      emits the closing [os.transformations] counter and [Run_end] event
+      when tracing.  Raises [Invalid_argument] if any thread is
+      unfinished (drain first). *)
+end
+
 val run :
   ?policy:Allocator.policy ->
   ?reconfig_cost:float ->

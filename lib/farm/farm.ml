@@ -1,0 +1,410 @@
+module T = Cgra_trace.Trace
+module Hist = Cgra_prof.Metrics.Hist
+open Cgra_core
+
+type shard_spec = { size : int; page_pes : int }
+
+let default_fleet =
+  [ { size = 4; page_pes = 4 }; { size = 6; page_pes = 4 };
+    { size = 8; page_pes = 4 } ]
+
+type params = {
+  fleet : shard_spec list;
+  n_tenants : int;
+  n_requests : int;
+  offered_load : float;
+  queue_bound : int;
+  max_resident : int;
+  seed : int;
+  policy : Allocator.policy;
+  reconfig_cost : float;
+}
+
+let default_params =
+  {
+    fleet = default_fleet;
+    n_tenants = 4;
+    n_requests = 200;
+    offered_load = 1.0;
+    queue_bound = 8;
+    max_resident = 8;
+    seed = 0;
+    policy = Allocator.Cost_halving;
+    reconfig_cost = 0.0;
+  }
+
+(* The request mix: the video-serving story the paper's introduction
+   motivates — motion compensation, colour conversion, deinterlacing. *)
+let mix = [| "mpeg"; "yuv2rgb"; "sobel" |]
+let min_iterations = 40
+let max_iterations = 120
+
+type terminal = Retired | Rejected
+
+type request = {
+  rid : int;
+  tenant : int;
+  kernel : string;
+  iterations : int;
+  arrival : float;
+  mutable shard : int;  (* -1 until admitted *)
+  mutable dispatched : float;  (* nan until admitted *)
+  mutable resident_at : float;  (* nan until first page grant *)
+  mutable retired_at : float;  (* nan until finished *)
+  mutable terminal : terminal option;
+}
+
+type shard_report = {
+  s_index : int;
+  s_spec : shard_spec;
+  s_pages : int;
+  s_served : int;
+  s_busy_cycles : float;  (* sum of (retired - dispatched) over its requests *)
+  s_os : Os_sim.result_t;
+}
+
+type report = {
+  params : params;
+  offered : int;
+  retired : int;
+  rejected : int;
+  makespan : float;
+  throughput : float;  (* retired requests per 1000 cycles *)
+  latency : Hist.summary;  (* arrival -> retire, cycles *)
+  queue_wait : Hist.summary;  (* arrival -> dispatch, cycles *)
+  log : (int * int * int * float) list;  (* rid, tenant, shard, time; retirement order *)
+  requests : request list;  (* arrival order, final states *)
+  shard_reports : shard_report list;
+  farm_events : T.event list;
+  shard_events : T.event list list;
+}
+
+type shard = {
+  index : int;
+  spec : shard_spec;
+  total_pages : int;
+  suite : Binary.t list;
+  engine : Os_sim.Engine.t;
+  strace : T.t;
+  mutable served : int;
+  mutable busy_cycles : float;
+}
+
+let ( let* ) = Result.bind
+
+let validate p =
+  if p.fleet = [] then Error "farm: empty fleet"
+  else if p.n_tenants < 1 then Error "farm: need at least one tenant"
+  else if p.n_requests < 0 then Error "farm: negative request count"
+  else if p.offered_load <= 0.0 then Error "farm: offered load must be positive"
+  else if p.queue_bound < 1 then Error "farm: queue bound must be >= 1"
+  else if p.max_resident < 1 then Error "farm: max resident must be >= 1"
+  else if p.reconfig_cost < 0.0 then Error "farm: negative reconfig cost"
+  else Ok ()
+
+(* Nominal per-shard service rate: the mean full-allocation service time
+   of the request mix.  [offered_load = 1.0] then offers exactly the
+   fleet's aggregate capacity under this (optimistic — no queueing, no
+   shrinking) model, so loads above 1 saturate by construction. *)
+let mean_iters = float_of_int (min_iterations + max_iterations) /. 2.0
+
+let shard_service_cycles suite =
+  let total =
+    Array.fold_left
+      (fun acc name ->
+        match List.find_opt (fun (b : Binary.t) -> b.name = name) suite with
+        | Some b ->
+            acc
+            +. (float_of_int
+                  (Binary.iteration_cycles b ~pages:(Binary.pages_used b))
+               *. mean_iters)
+        | None -> acc)
+      0.0 mix
+  in
+  total /. float_of_int (Array.length mix)
+
+let run ?pool ?(traced = false) p =
+  let* () = validate p in
+  let ftrace = if traced then T.make () else T.null in
+  let* shards =
+    let rec build i acc = function
+      | [] -> Ok (List.rev acc)
+      | spec :: rest -> (
+          match Cgra_arch.Cgra.standard ~size:spec.size ~page_pes:spec.page_pes with
+          | None ->
+              Error
+                (Printf.sprintf "farm: bad shard spec %dx%d (page %d PEs)"
+                   spec.size spec.size spec.page_pes)
+          | Some arch ->
+              let* suite = Binary.compile_suite ~seed:p.seed ?pool arch in
+              let strace = if traced then T.make () else T.null in
+              let engine =
+                Os_sim.Engine.create ~policy:p.policy
+                  ~reconfig_cost:p.reconfig_cost ~trace:strace ~suite
+                  ~total_pages:(Cgra_arch.Cgra.n_pages arch) ~mode:Os_sim.Multi ()
+              in
+              build (i + 1)
+                ({ index = i; spec; total_pages = Cgra_arch.Cgra.n_pages arch;
+                   suite; engine; strace; served = 0; busy_cycles = 0.0 }
+                :: acc)
+                rest)
+    in
+    build 0 [] p.fleet
+  in
+  (* open-loop Poisson-style arrivals on the virtual clock *)
+  let rng = Cgra_util.Rng.create ~seed:p.seed in
+  let capacity =
+    List.fold_left (fun acc s -> acc +. (1.0 /. shard_service_cycles s.suite))
+      0.0 shards
+  in
+  let rate = p.offered_load *. capacity in
+  let requests =
+    let rec gen i t acc =
+      if i = p.n_requests then Array.of_list (List.rev acc)
+      else begin
+        let t = t +. Cgra_util.Rng.exponential rng ~mean:(1.0 /. rate) in
+        let tenant = Cgra_util.Rng.int rng p.n_tenants in
+        let kernel = mix.(Cgra_util.Rng.int rng (Array.length mix)) in
+        let iterations =
+          Cgra_util.Rng.int_in rng min_iterations max_iterations
+        in
+        gen (i + 1) t
+          ({ rid = i; tenant; kernel; iterations; arrival = t; shard = -1;
+             dispatched = Float.nan; resident_at = Float.nan;
+             retired_at = Float.nan; terminal = None }
+          :: acc)
+      end
+    in
+    gen 0 0.0 []
+  in
+  T.emit_at ftrace ~time:0.0
+    (T.Farm_begin
+       { shards = List.length shards; tenants = p.n_tenants;
+         queue_bound = p.queue_bound; max_resident = p.max_resident;
+         requests = p.n_requests });
+  let shard_arr = Array.of_list shards in
+  List.iter
+    (fun s ->
+      Os_sim.Engine.set_on_grant s.engine (fun rid time ->
+          let r = requests.(rid) in
+          if Float.is_nan r.resident_at then begin
+            r.resident_at <- time;
+            T.emit_at ftrace ~time
+              (T.Farm_resident { req = rid; shard = s.index })
+          end))
+    shards;
+  (* finish notifications are recorded here and acted on after the engine
+     step returns (the callbacks must not re-enter an engine) *)
+  let finished : (int * float) Queue.t = Queue.create () in
+  List.iter
+    (fun s ->
+      Os_sim.Engine.set_on_finish s.engine (fun rid time ->
+          Queue.add (rid, time) finished))
+    shards;
+  let queues = Array.init p.n_tenants (fun _ -> Queue.create ()) in
+  let latency_h = Hist.create () in
+  let queue_wait_h = Hist.create () in
+  let retired = ref 0 in
+  let rejected = ref 0 in
+  let rev_log = ref [] in
+  (* load-aware shard pick: fewest in-flight requests, then least
+     allocated fabric, then lowest index — all deterministic signals *)
+  let pick_shard () =
+    List.fold_left
+      (fun best s ->
+        if Os_sim.Engine.in_flight s.engine >= p.max_resident then best
+        else
+          let key s =
+            ( Os_sim.Engine.in_flight s.engine,
+              Os_sim.Engine.used_page_fraction s.engine,
+              s.index )
+          in
+          match best with
+          | Some b when key b <= key s -> best
+          | Some _ | None -> Some s)
+      None shards
+  in
+  let dispatch r (s : shard) now =
+    r.shard <- s.index;
+    r.dispatched <- now;
+    T.emit_at ftrace ~time:now
+      (T.Farm_admit { req = r.rid; tenant = r.tenant; shard = s.index });
+    Os_sim.Engine.submit s.engine ~at:now
+      {
+        Thread_model.id = r.rid;
+        segments =
+          [ Thread_model.Kernel { kernel = r.kernel; iterations = r.iterations } ];
+      }
+  in
+  (* drain tenant queues (tenant order, FIFO within a tenant) while some
+     shard has admission capacity *)
+  let rec try_dispatch now =
+    let rec scan tid =
+      if tid >= p.n_tenants then false
+      else if Queue.is_empty queues.(tid) then scan (tid + 1)
+      else
+        match pick_shard () with
+        | None -> false (* capacity is fleet-wide: nobody can dispatch *)
+        | Some s ->
+            dispatch (Queue.take queues.(tid)) s now;
+            true
+    in
+    if scan 0 then try_dispatch now
+  in
+  let admit r =
+    T.emit_at ftrace ~time:r.arrival
+      (T.Farm_request
+         { req = r.rid; tenant = r.tenant; kernel = r.kernel;
+           iterations = r.iterations });
+    let q = queues.(r.tenant) in
+    if Queue.length q >= p.queue_bound then begin
+      r.terminal <- Some Rejected;
+      incr rejected;
+      T.emit_at ftrace ~time:r.arrival
+        (T.Farm_reject
+           { req = r.rid; tenant = r.tenant; queue_depth = Queue.length q })
+    end
+    else begin
+      Queue.add r q;
+      try_dispatch r.arrival
+    end
+  in
+  let drain_finished () =
+    while not (Queue.is_empty finished) do
+      let rid, time = Queue.take finished in
+      let r = requests.(rid) in
+      let s = shard_arr.(r.shard) in
+      r.retired_at <- time;
+      r.terminal <- Some Retired;
+      s.served <- s.served + 1;
+      s.busy_cycles <- s.busy_cycles +. (time -. r.dispatched);
+      incr retired;
+      rev_log := (rid, r.tenant, r.shard, time) :: !rev_log;
+      Hist.observe latency_h (time -. r.arrival);
+      Hist.observe queue_wait_h (r.dispatched -. r.arrival);
+      T.emit_at ftrace ~time
+        (T.Farm_retire
+           { req = rid; tenant = r.tenant; shard = r.shard;
+             latency = time -. r.arrival });
+      try_dispatch time
+    done
+  in
+  (* the global event loop: one event at a time, earliest first; a shard
+     event wins a tie with an arrival, the lowest shard index wins a tie
+     between shards (strict [<] over the fold) — total order, so the run
+     is deterministic at any pool width (the pool only compiles) *)
+  let next_shard_event () =
+    List.fold_left
+      (fun best s ->
+        match (Os_sim.Engine.next_event s.engine, best) with
+        | None, b -> b
+        | Some t, None -> Some (t, s)
+        | Some t, Some (bt, _) -> if t < bt then Some (t, s) else best)
+      None shards
+  in
+  let ai = ref 0 in
+  let step_shard s =
+    ignore (Os_sim.Engine.step s.engine);
+    drain_finished ()
+  in
+  let take_arrival () =
+    let r = requests.(!ai) in
+    incr ai;
+    admit r;
+    drain_finished ()
+  in
+  let rec loop () =
+    let next_arrival =
+      if !ai < Array.length requests then Some requests.(!ai).arrival else None
+    in
+    match (next_shard_event (), next_arrival) with
+    | None, None -> ()
+    | Some (_, s), None ->
+        step_shard s;
+        loop ()
+    | None, Some _ ->
+        take_arrival ();
+        loop ()
+    | Some (t, s), Some ta ->
+        if t <= ta then step_shard s else take_arrival ();
+        loop ()
+  in
+  loop ();
+  let makespan =
+    Array.fold_left
+      (fun acc r ->
+        let acc = Float.max acc r.arrival in
+        if Float.is_nan r.retired_at then acc else Float.max acc r.retired_at)
+      0.0 requests
+  in
+  T.emit_at ftrace ~time:makespan
+    (T.Farm_end { makespan; retired = !retired; rejected = !rejected });
+  let shard_reports =
+    List.map
+      (fun s ->
+        {
+          s_index = s.index;
+          s_spec = s.spec;
+          s_pages = s.total_pages;
+          s_served = s.served;
+          s_busy_cycles = s.busy_cycles;
+          s_os = Os_sim.Engine.result s.engine;
+        })
+      shards
+  in
+  Ok
+    {
+      params = p;
+      offered = p.n_requests;
+      retired = !retired;
+      rejected = !rejected;
+      makespan;
+      throughput =
+        (if makespan > 0.0 then float_of_int !retired /. makespan *. 1000.0
+         else 0.0);
+      latency = Hist.summary latency_h;
+      queue_wait = Hist.summary queue_wait_h;
+      log = List.rev !rev_log;
+      requests = Array.to_list requests;
+      shard_reports;
+      farm_events = T.events ftrace;
+      shard_events = List.map (fun s -> T.events s.strace) shards;
+    }
+
+let render ?(log = false) (r : report) =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let p = r.params in
+  pf "farm: %d shards (%s), %d tenants, %d requests, load %.2f, seed %d\n"
+    (List.length p.fleet)
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf "%dx%d" s.size s.size) p.fleet))
+    p.n_tenants p.n_requests p.offered_load p.seed;
+  pf "  policy %s, reconfig cost %.0f, queue bound %d, max resident %d\n"
+    (match p.policy with
+    | Allocator.Halving -> "halving"
+    | Allocator.Repack_equal -> "repack"
+    | Allocator.Cost_halving -> "cost")
+    p.reconfig_cost p.queue_bound p.max_resident;
+  pf "  retired %d, rejected %d, makespan %.0f cycles\n" r.retired r.rejected
+    r.makespan;
+  pf "  throughput %.3f req/kcycle\n" r.throughput;
+  pf "  latency    p50 %.0f  p90 %.0f  p99 %.0f  max %.0f cycles\n"
+    r.latency.Hist.p50 r.latency.Hist.p90 r.latency.Hist.p99 r.latency.Hist.max;
+  pf "  queue wait p50 %.0f  p90 %.0f  p99 %.0f  max %.0f cycles\n"
+    r.queue_wait.Hist.p50 r.queue_wait.Hist.p90 r.queue_wait.Hist.p99
+    r.queue_wait.Hist.max;
+  List.iter
+    (fun s ->
+      pf "  shard %d (%dx%d, %d pages): served %d, busy %.0f cycles, util %.3f\n"
+        s.s_index s.s_spec.size s.s_spec.size s.s_pages s.s_served
+        s.s_busy_cycles s.s_os.Os_sim.page_utilization)
+    r.shard_reports;
+  if log then begin
+    pf "retirements:\n";
+    List.iter
+      (fun (rid, tenant, shard, time) ->
+        pf "  r%-4d tenant %d shard %d at %.0f\n" rid tenant shard time)
+      r.log
+  end;
+  Buffer.contents b

@@ -1,0 +1,123 @@
+(** Multi-tenant CGRA farm: a sharded fleet of fabrics behind a
+    discrete-event request front end.
+
+    This is the serving layer the ROADMAP's north star asks for, grown
+    out of [examples/video_server.ml]: each shard is one fabric (its own
+    compiled suite, {!Cgra_core.Allocator} and
+    {!Cgra_core.Os_sim.Engine} as the online page scheduler), and the
+    front end is an open-loop arrival process with per-tenant FIFO
+    queues and admission control.
+
+    Determinism is the contract.  Everything runs on the virtual clock —
+    no wall time anywhere in the simulated path — and all randomness
+    flows from the seeded {!Cgra_util.Rng}, so one seed fixes the whole
+    run: arrivals, admissions, dispatches, retirement log, quantiles.  A
+    [pool] only parallelizes suite compilation (itself bit-deterministic
+    at any width), so results are byte-identical at any [-j].
+
+    The event loop totally orders work: the earliest pending event wins;
+    a shard event beats an arrival at the same instant; the lowest shard
+    index beats other shards.  Admission bounds each tenant's queue at
+    [queue_bound] (excess requests are rejected at arrival, never
+    dropped later) and each shard's in-flight population at
+    [max_resident]; dispatch picks the shard with the fewest in-flight
+    requests, then the least-allocated fabric, then the lowest index. *)
+
+module T := Cgra_trace.Trace
+module Hist := Cgra_prof.Metrics.Hist
+
+type shard_spec = { size : int; page_pes : int }
+
+val default_fleet : shard_spec list
+(** The mixed fleet of the committed benchmark: 4x4, 6x6, 8x8, all with
+    4-PE pages. *)
+
+type params = {
+  fleet : shard_spec list;
+  n_tenants : int;
+  n_requests : int;
+  offered_load : float;
+      (** arrival rate as a multiple of the fleet's nominal capacity
+          (mean full-allocation service rate of the request mix summed
+          over shards): 1.0 offers exactly what the fleet can nominally
+          serve, 2.0 saturates it *)
+  queue_bound : int;  (** max queued-but-undispatched requests per tenant *)
+  max_resident : int;  (** max in-flight requests per shard *)
+  seed : int;
+  policy : Cgra_core.Allocator.policy;
+  reconfig_cost : float;
+}
+
+val default_params : params
+(** The committed-benchmark configuration: the default fleet, 4 tenants,
+    200 requests, load 1.0, bound 8, resident 8, seed 0, [Cost_halving]. *)
+
+val mix : string array
+(** The request kernel mix (mpeg, yuv2rgb, sobel — the video-serving
+    story of the paper's introduction). *)
+
+val min_iterations : int
+
+val max_iterations : int
+(** Request sizes are uniform in [[min_iterations, max_iterations]]. *)
+
+type terminal = Retired | Rejected
+
+type request = {
+  rid : int;
+  tenant : int;
+  kernel : string;
+  iterations : int;
+  arrival : float;
+  mutable shard : int;  (** -1 until admitted *)
+  mutable dispatched : float;  (** nan until admitted *)
+  mutable resident_at : float;  (** nan until first page grant *)
+  mutable retired_at : float;  (** nan until finished *)
+  mutable terminal : terminal option;
+}
+
+type shard_report = {
+  s_index : int;
+  s_spec : shard_spec;
+  s_pages : int;
+  s_served : int;
+  s_busy_cycles : float;
+      (** front-end accounting: sum of (retire - dispatch) over the
+          shard's requests — for single-kernel requests this equals the
+          summed per-thread stall-attribution totals
+          {!Cgra_prof.Analyze.profile} reconstructs from the shard's
+          trace *)
+  s_os : Cgra_core.Os_sim.result_t;
+}
+
+type report = {
+  params : params;
+  offered : int;
+  retired : int;
+  rejected : int;
+  makespan : float;
+  throughput : float;  (** retired requests per 1000 cycles *)
+  latency : Hist.summary;  (** arrival -> retire, cycles *)
+  queue_wait : Hist.summary;  (** arrival -> dispatch, cycles *)
+  log : (int * int * int * float) list;
+      (** (rid, tenant, shard, time), in retirement order *)
+  requests : request list;  (** arrival order, final states *)
+  shard_reports : shard_report list;
+  farm_events : T.event list;  (** the [farm_*] stream (empty untraced) *)
+  shard_events : T.event list list;
+      (** per-shard OS streams, fleet order: each is a complete
+          {!Cgra_verify.Os_fuzz.monitor}-able / replayable run *)
+}
+
+val run :
+  ?pool:Cgra_util.Pool.t ->
+  ?traced:bool ->
+  params ->
+  (report, string) result
+(** Simulate the farm.  [traced] (default false) collects the front
+    end's [farm_*] stream and one OS stream per shard; tracing never
+    changes the simulation.  Errors are validation or compile failures. *)
+
+val render : ?log:bool -> report -> string
+(** Deterministic text report (fixed-precision floats); [log] appends
+    the retirement log — the byte-compare surface of the @smoke rule. *)

@@ -219,6 +219,8 @@ let profile events =
       let handle (e : T.event) =
         match e.payload with
         | T.Run_begin _ | T.Run_end _ | T.Thread_arrival _ | T.Thread_finish _
+        | T.Farm_begin _ | T.Farm_request _ | T.Farm_reject _ | T.Farm_admit _
+        | T.Farm_resident _ | T.Farm_retire _ | T.Farm_end _
         | T.Span_begin _ | T.Span_end _ | T.Mark _ ->
             ()
         | T.Kernel_request r ->

@@ -60,17 +60,29 @@ let has_prefix p name =
   String.length name >= String.length p
   && String.sub name 0 (String.length p) = p
 
+let contains sub name =
+  let n = String.length name and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub name i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Farm rows are virtual-clock simulation outputs: deterministic down
+   to float formatting, so the budget is a flat epsilon either way. *)
+let deterministic name = has_prefix "farm" name
+
 (* Fig. 8 geomean rows are deterministic quality scores (percent,
-   higher is better), not wall measurements: the gate direction flips
-   and the budget is a flat epsilon for float formatting, not a jitter
-   factor. *)
-let higher_is_better name = has_prefix "fig8" name
+   higher is better), not wall measurements; farm throughput rows
+   (req/kcycle) likewise gate upward.  Both use a flat epsilon for
+   float formatting, not a jitter factor. *)
+let higher_is_better name =
+  has_prefix "fig8" name || (deterministic name && contains "req/" name)
+
+let epsilon name = if deterministic name then 0.001 else 0.05
 
 (* Per-row slowdown budgets.  Everything here is a shared-machine wall
    measurement, so the budgets are about catching algorithmic
    regressions (2x-10x), not scheduling noise. *)
 let tolerance name =
-  if higher_is_better name then 1.0
+  if higher_is_better name || deterministic name then 1.0
   else if has_prefix "compile-sobel-warm" name || has_prefix "compile-suite-warm" name
   then 4.0 (* microsecond-scale disk reads: highest relative jitter *)
   else 2.0
@@ -92,7 +104,8 @@ let check ~baseline ~current =
                   ok = false }
       | Some c ->
           let ok =
-            if higher_is_better b.name then c.value >= b.value -. 0.05
+            if higher_is_better b.name then c.value >= b.value -. epsilon b.name
+            else if deterministic b.name then c.value <= b.value +. epsilon b.name
             else c.value <= b.value *. tol
           in
           { o_name = b.name; baseline = b.value; current = Some c.value; tol;
@@ -105,7 +118,9 @@ let failures outcomes =
 let render ~unit_ outcomes =
   let fmt v = Table.fmt_float ~decimals:1 v in
   let tol_label o =
-    if higher_is_better o.o_name then ">=base" else Printf.sprintf "%.1fx" o.tol
+    if higher_is_better o.o_name then ">=base"
+    else if deterministic o.o_name then "<=base"
+    else Printf.sprintf "%.1fx" o.tol
   in
   let rows =
     List.map

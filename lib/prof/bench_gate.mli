@@ -26,13 +26,22 @@ val tolerance : string -> float
     microsecond-scale disk reads and jitter hardest (4.0x); wall-clock
     sweep and fold rows get the 2.0x default.  A factor, not a margin:
     [current <= baseline * tolerance] passes.  Meaningless (1.0) for
-    {!higher_is_better} rows, which gate on a flat epsilon instead. *)
+    {!higher_is_better} and {!deterministic} rows, which gate on a flat
+    epsilon instead. *)
+
+val deterministic : string -> bool
+(** Rows named with the "farm" prefix are virtual-clock simulation
+    outputs, reproducible down to float formatting.  They gate on a
+    flat 0.001 epsilon (covering the %.3f quantization of the written
+    value) in whichever direction {!higher_is_better} says, never on a
+    jitter factor. *)
 
 val higher_is_better : string -> bool
 (** Rows named with the "fig8" prefix are deterministic quality scores
-    (geomean percent of baseline II), not wall measurements: the gate
-    passes when [current >= baseline - 0.05] — any real drop in mapping
-    quality fails, and jitter tolerances do not apply. *)
+    (geomean percent of baseline II, epsilon 0.05), and farm rows
+    containing "req/" are throughputs (epsilon 0.001): the gate passes
+    when [current >= baseline - epsilon] — any real drop fails, and
+    jitter tolerances do not apply. *)
 
 type outcome = {
   o_name : string;

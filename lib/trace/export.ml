@@ -84,6 +84,48 @@ let payload_fields = function
                  Json.Obj [ ("what", Json.Str what); ("range", range_json range) ])
                r.considered) );
       ]
+  | Farm_begin r ->
+      [
+        ("shards", Json.num_of_int r.shards);
+        ("tenants", Json.num_of_int r.tenants);
+        ("queue_bound", Json.num_of_int r.queue_bound);
+        ("max_resident", Json.num_of_int r.max_resident);
+        ("requests", Json.num_of_int r.requests);
+      ]
+  | Farm_request r ->
+      [
+        ("req", Json.num_of_int r.req);
+        ("tenant", Json.num_of_int r.tenant);
+        ("kernel", Json.Str r.kernel);
+        ("iterations", Json.num_of_int r.iterations);
+      ]
+  | Farm_reject r ->
+      [
+        ("req", Json.num_of_int r.req);
+        ("tenant", Json.num_of_int r.tenant);
+        ("queue_depth", Json.num_of_int r.queue_depth);
+      ]
+  | Farm_admit r ->
+      [
+        ("req", Json.num_of_int r.req);
+        ("tenant", Json.num_of_int r.tenant);
+        ("shard", Json.num_of_int r.shard);
+      ]
+  | Farm_resident r ->
+      [ ("req", Json.num_of_int r.req); ("shard", Json.num_of_int r.shard) ]
+  | Farm_retire r ->
+      [
+        ("req", Json.num_of_int r.req);
+        ("tenant", Json.num_of_int r.tenant);
+        ("shard", Json.num_of_int r.shard);
+        ("latency", Json.Num r.latency);
+      ]
+  | Farm_end r ->
+      [
+        ("makespan", Json.Num r.makespan);
+        ("retired", Json.num_of_int r.retired);
+        ("rejected", Json.num_of_int r.rejected);
+      ]
   | Counter r -> [ ("name", Json.Str r.name); ("value", Json.Num r.value) ]
   | Span_begin r -> [ ("name", Json.Str r.name) ]
   | Span_end r -> [ ("name", Json.Str r.name) ]
@@ -246,6 +288,44 @@ let payload_of_json kind v =
         | _ -> Error "field \"considered\" is not an array"
       in
       Ok (Alloc_decision { client; desired; granted; considered })
+  | "farm_begin" ->
+      let* shards = int_field "shards" v in
+      let* tenants = int_field "tenants" v in
+      let* queue_bound = int_field "queue_bound" v in
+      let* max_resident = int_field "max_resident" v in
+      let* requests = int_field "requests" v in
+      Ok (Farm_begin { shards; tenants; queue_bound; max_resident; requests })
+  | "farm_request" ->
+      let* req = int_field "req" v in
+      let* tenant = int_field "tenant" v in
+      let* kernel = str_field "kernel" v in
+      let* iterations = int_field "iterations" v in
+      Ok (Farm_request { req; tenant; kernel; iterations })
+  | "farm_reject" ->
+      let* req = int_field "req" v in
+      let* tenant = int_field "tenant" v in
+      let* queue_depth = int_field "queue_depth" v in
+      Ok (Farm_reject { req; tenant; queue_depth })
+  | "farm_admit" ->
+      let* req = int_field "req" v in
+      let* tenant = int_field "tenant" v in
+      let* shard = int_field "shard" v in
+      Ok (Farm_admit { req; tenant; shard })
+  | "farm_resident" ->
+      let* req = int_field "req" v in
+      let* shard = int_field "shard" v in
+      Ok (Farm_resident { req; shard })
+  | "farm_retire" ->
+      let* req = int_field "req" v in
+      let* tenant = int_field "tenant" v in
+      let* shard = int_field "shard" v in
+      let* latency = float_field "latency" v in
+      Ok (Farm_retire { req; tenant; shard; latency })
+  | "farm_end" ->
+      let* makespan = float_field "makespan" v in
+      let* retired = int_field "retired" v in
+      let* rejected = int_field "rejected" v in
+      Ok (Farm_end { makespan; retired; rejected })
   | "counter" ->
       let* name = str_field "name" v in
       let* value = float_field "value" v in
@@ -329,6 +409,16 @@ let chrome ?(process_name = "cgra") events =
   (* derived running totals for the counter tracks *)
   let allocated = ref 0 in
   let queue_depth = ref 0 in
+  (* pid 3 (front-end requests) only appears when farm events do, so
+     traces without them export byte-identically to before *)
+  let farm_pid_announced = ref false in
+  let farm_ev ?tid ?args ~cat ~name ~ph ~ts () =
+    if not !farm_pid_announced then begin
+      farm_pid_announced := true;
+      metadata ~pid:3 "process_name" (process_name ^ " farm")
+    end;
+    ev ~pid:3 ?tid ?args ~cat ~name ~ph ~ts ()
+  in
   let waiting : (int, string) Hashtbl.t = Hashtbl.create 8 in
   let handle (e : event) =
     let ts = e.time in
@@ -382,6 +472,32 @@ let chrome ?(process_name = "cgra") events =
         ev ~pid:2 ~cat
           ~name:(Printf.sprintf "alloc c%d" r.client)
           ~ph:"i" ~ts ~args:(payload_fields e.payload) ()
+    | Farm_begin _ ->
+        farm_ev ~cat ~name:"farm begin" ~ph:"i" ~ts
+          ~args:(payload_fields e.payload) ()
+    | Farm_request r ->
+        farm_ev ~tid:r.req ~cat ~name:("queued " ^ r.kernel) ~ph:"B" ~ts
+          ~args:(payload_fields e.payload) ()
+    | Farm_reject r ->
+        farm_ev ~tid:r.req ~cat ~name:"queued" ~ph:"E" ~ts ();
+        farm_ev ~tid:r.req ~cat ~name:"reject" ~ph:"i" ~ts
+          ~args:(payload_fields e.payload) ()
+    | Farm_admit r ->
+        farm_ev ~tid:r.req ~cat ~name:"queued" ~ph:"E" ~ts ();
+        farm_ev ~tid:r.req ~cat
+          ~name:(Printf.sprintf "shard %d" r.shard)
+          ~ph:"B" ~ts ~args:(payload_fields e.payload) ()
+    | Farm_resident r ->
+        farm_ev ~tid:r.req ~cat ~name:"resident" ~ph:"i" ~ts
+          ~args:(payload_fields e.payload) ()
+    | Farm_retire r ->
+        farm_ev ~tid:r.req ~cat ~name:(Printf.sprintf "shard %d" r.shard)
+          ~ph:"E" ~ts ();
+        farm_ev ~tid:r.req ~cat ~name:"retire" ~ph:"i" ~ts
+          ~args:(payload_fields e.payload) ()
+    | Farm_end _ ->
+        farm_ev ~cat ~name:"farm end" ~ph:"i" ~ts
+          ~args:(payload_fields e.payload) ()
     | Counter r ->
         ev ~pid:2 ~cat ~name:r.name ~ph:"C" ~ts
           ~args:[ ("value", Json.Num r.value) ]

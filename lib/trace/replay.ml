@@ -33,6 +33,8 @@ let aggregates events =
       | Kernel_grant r -> if r.shrunk then incr transformations
       | Thread_finish r -> finishes := (r.thread, e.time) :: !finishes
       | Run_end _ | Thread_arrival _ | Kernel_release _ | Alloc_decision _
+      | Farm_begin _ | Farm_request _ | Farm_reject _ | Farm_admit _
+      | Farm_resident _ | Farm_retire _ | Farm_end _
       | Counter _ | Span_begin _ | Span_end _ | Mark _ ->
           ())
     events;

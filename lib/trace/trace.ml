@@ -49,6 +49,19 @@ type payload =
       granted : page_range option;
       considered : (string * page_range) list;
     }
+  | Farm_begin of {
+      shards : int;
+      tenants : int;
+      queue_bound : int;
+      max_resident : int;
+      requests : int;
+    }
+  | Farm_request of { req : int; tenant : int; kernel : string; iterations : int }
+  | Farm_reject of { req : int; tenant : int; queue_depth : int }
+  | Farm_admit of { req : int; tenant : int; shard : int }
+  | Farm_resident of { req : int; shard : int }
+  | Farm_retire of { req : int; tenant : int; shard : int; latency : float }
+  | Farm_end of { makespan : float; retired : int; rejected : int }
   | Counter of { name : string; value : float }
   | Span_begin of { name : string }
   | Span_end of { name : string }
@@ -124,6 +137,13 @@ let kind_name = function
   | Reshape _ -> "reshape"
   | Occupancy _ -> "occupancy"
   | Alloc_decision _ -> "alloc_decision"
+  | Farm_begin _ -> "farm_begin"
+  | Farm_request _ -> "farm_request"
+  | Farm_reject _ -> "farm_reject"
+  | Farm_admit _ -> "farm_admit"
+  | Farm_resident _ -> "farm_resident"
+  | Farm_retire _ -> "farm_retire"
+  | Farm_end _ -> "farm_end"
   | Counter _ -> "counter"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
@@ -165,6 +185,23 @@ let pp_event ppf e =
         | Some g -> Format.asprintf "%a" pp_range g
         | None -> "none")
         (List.length r.considered)
+  | Farm_begin r ->
+      Format.fprintf ppf " shards=%d tenants=%d bound=%d resident=%d requests=%d"
+        r.shards r.tenants r.queue_bound r.max_resident r.requests
+  | Farm_request r ->
+      Format.fprintf ppf " r%d tenant=%d %s x%d" r.req r.tenant r.kernel
+        r.iterations
+  | Farm_reject r ->
+      Format.fprintf ppf " r%d tenant=%d depth=%d" r.req r.tenant r.queue_depth
+  | Farm_admit r ->
+      Format.fprintf ppf " r%d tenant=%d shard=%d" r.req r.tenant r.shard
+  | Farm_resident r -> Format.fprintf ppf " r%d shard=%d" r.req r.shard
+  | Farm_retire r ->
+      Format.fprintf ppf " r%d tenant=%d shard=%d latency=%g" r.req r.tenant
+        r.shard r.latency
+  | Farm_end r ->
+      Format.fprintf ppf " makespan=%g retired=%d rejected=%d" r.makespan
+        r.retired r.rejected
   | Counter r -> Format.fprintf ppf " %s=%g" r.name r.value
   | Span_begin r -> Format.fprintf ppf " %s" r.name
   | Span_end r -> Format.fprintf ppf " %s" r.name

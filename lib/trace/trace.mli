@@ -81,6 +81,24 @@ type payload =
       considered : (string * page_range) list;
           (** the alternatives weighed: free segments, victims to halve, … *)
     }
+  | Farm_begin of {
+      shards : int;
+      tenants : int;
+      queue_bound : int;  (** max queued-but-undispatched requests per tenant *)
+      max_resident : int;  (** max in-flight requests per shard *)
+      requests : int;  (** offered requests in this run *)
+    }
+  | Farm_request of { req : int; tenant : int; kernel : string; iterations : int }
+      (** a request arrives at the front end (queued) *)
+  | Farm_reject of { req : int; tenant : int; queue_depth : int }
+      (** admission control bounced the request (tenant queue full) *)
+  | Farm_admit of { req : int; tenant : int; shard : int }
+      (** dispatched from the tenant queue onto a shard's {!Os_sim} engine *)
+  | Farm_resident of { req : int; shard : int }
+      (** the shard granted fabric pages — the request is executing *)
+  | Farm_retire of { req : int; tenant : int; shard : int; latency : float }
+      (** finished; [latency] is arrival→retire in cycles *)
+  | Farm_end of { makespan : float; retired : int; rejected : int }
   | Counter of { name : string; value : float }
   | Span_begin of { name : string }
   | Span_end of { name : string }

@@ -137,6 +137,8 @@ let monitor events =
             err "event %d: run ended with %d threads still queued" seq
               (Hashtbl.length waiting)
       | T.Thread_arrival _ | T.Kernel_request _ | T.Alloc_decision _
+      | T.Farm_begin _ | T.Farm_request _ | T.Farm_reject _ | T.Farm_admit _
+      | T.Farm_resident _ | T.Farm_retire _ | T.Farm_end _
       | T.Counter _ | T.Span_begin _ | T.Span_end _ | T.Mark _ ->
           ())
     events;
@@ -240,7 +242,8 @@ let run ?(fabrics = default_fabrics) ?pool ~seeds () =
                 (match mode with Os_sim.Single -> "single" | Os_sim.Multi -> "multi")
                 (match policy with
                 | Allocator.Halving -> "halving"
-                | Allocator.Repack_equal -> "repack")
+                | Allocator.Repack_equal -> "repack"
+                | Allocator.Cost_halving -> "cost")
                 reconfig_cost n_threads e
               :: !failures)
           errs)

@@ -263,6 +263,43 @@ let test_profile_requires_header () =
       Alcotest.(check bool) "mentions run_begin" true
         (String.length e > 0)
 
+(* Differential against the farm front end: each shard's busy cycles
+   are accounted twice, independently — the front end sums
+   (retire - dispatch) per request it routed to the shard, and the
+   profiler reconstructs per-thread request->release totals from the
+   shard's own trace.  Every farm request is a single-kernel thread, so
+   the two sums must agree exactly, shard by shard. *)
+let test_farm_busy_vs_stall_attribution () =
+  let p =
+    {
+      Cgra_farm.Farm.default_params with
+      n_requests = 40;
+      offered_load = 2.0;
+      seed = 7;
+    }
+  in
+  match Cgra_farm.Farm.run ~traced:true p with
+  | Error e -> Alcotest.failf "Farm.run: %s" e
+  | Ok r ->
+      List.iter2
+        (fun (sr : Cgra_farm.Farm.shard_report) events ->
+          let rep = report_of events in
+          let attributed =
+            List.fold_left
+              (fun acc (s : Analyze.stall_attrib) -> acc +. s.total)
+              0.0 rep.stalls
+          in
+          Alcotest.check (Alcotest.float 1e-6)
+            (Printf.sprintf "shard %d: front-end busy = attributed total"
+               sr.Cgra_farm.Farm.s_index)
+            sr.Cgra_farm.Farm.s_busy_cycles attributed;
+          Alcotest.(check int)
+            (Printf.sprintf "shard %d: one attribution per served request"
+               sr.Cgra_farm.Farm.s_index)
+            sr.Cgra_farm.Farm.s_served
+            (List.length rep.stalls))
+        r.Cgra_farm.Farm.shard_reports r.Cgra_farm.Farm.shard_events
+
 (* ---------- bench gate ---------- *)
 
 let doc_of_string s =
@@ -415,6 +452,46 @@ let test_gate_fig8_higher_is_better () =
   Alcotest.(check bool) "render shows the flipped budget" true
     (contains ~sub:">=base" rendered)
 
+let test_gate_farm_deterministic () =
+  (* farm rows are virtual-clock outputs: flat-epsilon gating, direction
+     by row — throughput (req/) up, latency quantiles down *)
+  Alcotest.(check bool) "farm throughput gates upward" true
+    (Bench_gate.higher_is_better "farm load1.0 req/kcycle");
+  Alcotest.(check bool) "farm latency gates downward" false
+    (Bench_gate.higher_is_better "farm load1.0 latency p99");
+  Alcotest.(check bool) "farm rows are deterministic" true
+    (Bench_gate.deterministic "farm load1.0 latency p99");
+  let baseline =
+    doc_of_string
+      {|{ "bench": "farm", "domains": 1, "unit": "mixed", "results": [
+          { "name": "farm load1.0 req/kcycle", "value": 13.856 },
+          { "name": "farm load1.0 latency p99", "value": 464.0 } ] }|}
+  in
+  let current tput p99 =
+    doc_of_string
+      (Printf.sprintf
+         {|{ "bench": "farm", "domains": 1, "unit": "mixed", "results": [
+             { "name": "farm load1.0 req/kcycle", "value": %f },
+             { "name": "farm load1.0 latency p99", "value": %f } ] }|}
+         tput p99)
+  in
+  let failures tput p99 =
+    Bench_gate.failures (Bench_gate.check ~baseline ~current:(current tput p99))
+  in
+  Alcotest.(check int) "self passes" 0 (failures 13.856 464.0);
+  Alcotest.(check int) "improvements pass" 0 (failures 15.0 400.0);
+  Alcotest.(check int) "%.3f rounding absorbed" 0 (failures 13.8555 464.0005);
+  Alcotest.(check int) "throughput drop fails" 1 (failures 13.0 464.0);
+  (* a 1-cycle p99 regression is far inside any wall-clock tolerance but
+     must fail the deterministic row *)
+  Alcotest.(check int) "latency regression fails" 1 (failures 13.856 465.0);
+  let rendered =
+    Bench_gate.render ~unit_:"mixed"
+      (Bench_gate.check ~baseline ~current:(current 13.856 465.0))
+  in
+  Alcotest.(check bool) "render shows the downward budget" true
+    (contains ~sub:"<=base" rendered)
+
 let test_gate_parses_old_format () =
   (* rows written before min-of-N: no runs/spread/per-row domains *)
   let d =
@@ -464,6 +541,8 @@ let () =
             test_profile_requires_header;
           Alcotest.test_case "bus pressure exact counts" `Quick
             test_bus_pressure_exact_counts;
+          Alcotest.test_case "farm busy cycles vs stall attribution" `Quick
+            test_farm_busy_vs_stall_attribution;
         ] );
       ( "bench gate",
         [
@@ -476,6 +555,8 @@ let () =
             test_gate_missing_row_fails;
           Alcotest.test_case "fig8 rows gate higher-is-better" `Quick
             test_gate_fig8_higher_is_better;
+          Alcotest.test_case "farm rows gate deterministically" `Quick
+            test_gate_farm_deterministic;
           Alcotest.test_case "old baseline format" `Quick
             test_gate_parses_old_format;
         ] );

@@ -119,8 +119,49 @@ let test_alloc_repack_exhaustion () =
   Alcotest.(check bool) "third must wait" true
     (Allocator.request al ~client:3 ~desired:1 = None)
 
+(* A shrink storm where the two policies must diverge: c1 holds 8, c2
+   holds 4, and a newcomer wants 2.  Halving always shrinks the largest
+   holder (c1, re-folding 4 kept pages); Cost_halving notices c2's
+   freed half also covers the request and re-folds only 2 kept pages. *)
+let test_alloc_cost_halving_picks_cheap_victim () =
+  let build policy =
+    let al = Allocator.create ~policy ~total_pages:12 () in
+    let _ = Option.get (Allocator.request al ~client:1 ~desired:8) in
+    let _ = Option.get (Allocator.request al ~client:2 ~desired:4) in
+    let r3 = Option.get (Allocator.request al ~client:3 ~desired:2) in
+    (al, r3)
+  in
+  let al_h, r3_h = build Allocator.Halving in
+  Alcotest.(check int) "halving shrinks the big holder" 4
+    (Option.get (Allocator.allocation al_h ~client:1)).len;
+  Alcotest.(check int) "halving leaves c2 alone" 4
+    (Option.get (Allocator.allocation al_h ~client:2)).len;
+  Alcotest.(check int) "halving grant" 2 r3_h.len;
+  let al_c, r3_c = build Allocator.Cost_halving in
+  Alcotest.(check int) "cost policy leaves the big holder alone" 8
+    (Option.get (Allocator.allocation al_c ~client:1)).len;
+  Alcotest.(check int) "cost policy shrinks the cheaper victim" 2
+    (Option.get (Allocator.allocation al_c ~client:2)).len;
+  Alcotest.(check int) "grant no smaller than halving's" 2 r3_c.len;
+  Alcotest.(check bool) "disjoint" true (ranges_cover_and_disjoint al_c 12)
+
+(* When no resident's freed half covers the request, Cost_halving falls
+   back to the largest victim — a grant never smaller than Halving's. *)
+let test_alloc_cost_halving_fallback () =
+  let al = Allocator.create ~policy:Allocator.Cost_halving ~total_pages:12 () in
+  let _ = Option.get (Allocator.request al ~client:1 ~desired:8) in
+  let _ = Option.get (Allocator.request al ~client:2 ~desired:4) in
+  let r3 = Option.get (Allocator.request al ~client:3 ~desired:3) in
+  (* c2's freed half is 2 < 3; only halving c1 covers the request *)
+  Alcotest.(check int) "big holder halved" 4
+    (Option.get (Allocator.allocation al ~client:1)).len;
+  Alcotest.(check int) "c2 untouched" 4
+    (Option.get (Allocator.allocation al ~client:2)).len;
+  Alcotest.(check int) "newcomer served from the freed half" 3 r3.len;
+  Alcotest.(check bool) "disjoint" true (ranges_cover_and_disjoint al 12)
+
 let test_alloc_random_sequences () =
-  (* property: under any grant/release order and either policy, live
+  (* property: under any grant/release order and any policy, live
      allocations are non-empty, in-bounds, and pairwise disjoint — and
      every traced Alloc_decision grants a range drawn from the
      alternatives it weighed *)
@@ -130,7 +171,8 @@ let test_alloc_random_sequences () =
       let rng = Cgra_util.Rng.create ~seed in
       let total = Cgra_util.Rng.choose rng [| 4; 8; 9; 16 |] in
       let policy =
-        if Cgra_util.Rng.bool rng then Allocator.Halving else Allocator.Repack_equal
+        Cgra_util.Rng.choose rng
+          [| Allocator.Halving; Allocator.Repack_equal; Allocator.Cost_halving |]
       in
       let trace = T.make () in
       let al = Allocator.create ~policy ~trace ~total_pages:total () in
@@ -570,6 +612,10 @@ let () =
           Alcotest.test_case "shrunk clients" `Quick test_alloc_shrunk_clients;
           Alcotest.test_case "repack policy" `Quick test_alloc_repack_policy;
           Alcotest.test_case "repack exhaustion" `Quick test_alloc_repack_exhaustion;
+          Alcotest.test_case "cost halving picks cheap victim" `Quick
+            test_alloc_cost_halving_picks_cheap_victim;
+          Alcotest.test_case "cost halving fallback" `Quick
+            test_alloc_cost_halving_fallback;
           Alcotest.test_case "random sequences stay disjoint" `Quick
             test_alloc_random_sequences;
           QCheck_alcotest.to_alcotest prop_alloc_invariants;
