@@ -1,4 +1,4 @@
-.PHONY: all test fmt smoke ci clean bench-json bench-gate fig8 farm profile fuzz-deep cache-clean
+.PHONY: all test fmt smoke ci clean bench-json bench-gate fig8 farm farm-big profile fuzz-deep cache-clean
 
 # Default on-disk binary store used by `cgra_tool compile/cache --cache`
 # unless a different directory is passed.
@@ -35,6 +35,7 @@ bench-json:
 	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- fig9 --json
 	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- fig8 --json
 	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- farm --json
+	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- farm-big --json
 
 # One-shot Fig. 8 regeneration: print every (fabric, page size) table
 # and rewrite the gated BENCH_fig8.json quality rows (the per-fabric
@@ -52,13 +53,24 @@ farm:
 	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- farm --json
 	dune exec bench/main.exe -- gate --check
 
-# Re-measure the micro and fig9 benches and compare every row against
-# the committed baselines with per-row tolerances; non-zero exit on any
-# regression.  `gate --check` (run by @smoke) only re-validates the
-# committed files against themselves.
+# The at-scale harness: 24 mixed shards, 8 tenants, 10^4 requests
+# through the epoch-stepped coordinator.  Rewrites BENCH_farm_big.json:
+# quality rows at nominal load, the least-loaded/cost-aware overload
+# pair, and the -j1/-j4 front-end simulation rate with the speedup row
+# the gate holds to its machine-aware floor.
+farm-big:
+	dune build bench/main.exe
+	CGRA_DOMAINS=$$(nproc) dune exec bench/main.exe -- farm-big --json
+	dune exec bench/main.exe -- gate --check --farm-big
+
+# Re-measure every bench family and compare each row against the
+# committed baselines with per-row tolerances; non-zero exit on any
+# regression.  --farm-big opts the at-scale fleet into the re-measured
+# set.  `gate --check` (run by @smoke) only re-validates the committed
+# files against themselves.
 bench-gate:
 	dune build bench/main.exe
-	dune exec bench/main.exe -- gate
+	dune exec bench/main.exe -- gate --farm-big
 
 # A profiled 16-thread Multi-mode run on the default 4x4: occupancy heatmap,
 # row-bus contention, stall attribution, reshape accounting, latency

@@ -892,7 +892,8 @@ let cmd_dot =
 
 let cmd_farm =
   let run shards page_pes tenants requests load queue_bound max_resident seed
-      policy reconfig_cost fuzz trace_out format show_log domains =
+      policy reconfig_cost epoch stats fuzz trace_out format show_log domains =
+    let policy, dispatch = policy in
     Cgra_util.Pool.with_pool ?domains (fun pool ->
         match fuzz with
         | Some n ->
@@ -916,6 +917,8 @@ let cmd_farm =
                 seed;
                 policy;
                 reconfig_cost;
+                dispatch;
+                epoch;
               }
             in
             let r = or_die (Cgra_farm.Farm.run ~pool ~traced:true p) in
@@ -939,6 +942,7 @@ let cmd_farm =
                 List.iter (fun e -> print_endline ("FARM DEFECT: " ^ e)) es;
                 exit 1);
             print_string (Cgra_farm.Farm.render ~log:show_log r);
+            if stats then print_string (Cgra_farm.Farm.render_stats r);
             (match trace_out with
             | None -> ()
             | Some path ->
@@ -1000,6 +1004,46 @@ let cmd_farm =
       value & flag
       & info [ "log" ] ~doc:"Print the per-request retirement log.")
   in
+  (* The farm spells one extra policy: $(b,cost-aware) keeps the
+     cost-halving allocator and additionally defers dispatch when
+     queueing is cheaper than the reshape cycles a grant would cost. *)
+  let farm_policy_arg =
+    let doc =
+      "Serving policy: $(b,halving) (the paper's), $(b,repack), $(b,cost) \
+       (reconfiguration-cost-aware halving), or $(b,cost-aware) (cost-halving \
+       allocation plus cost-aware dispatch that defers grants when queueing \
+       is cheaper than reshaping)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("halving", (Allocator.Halving, Cgra_farm.Farm.Least_loaded));
+               ("repack", (Allocator.Repack_equal, Cgra_farm.Farm.Least_loaded));
+               ("cost", (Allocator.Cost_halving, Cgra_farm.Farm.Least_loaded));
+               ("cost-aware", (Allocator.Cost_halving, Cgra_farm.Farm.Cost_aware));
+             ])
+          (Allocator.Halving, Cgra_farm.Farm.Least_loaded)
+      & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let epoch_arg =
+    Arg.(
+      value
+      & opt float Cgra_farm.Farm.default_params.Cgra_farm.Farm.epoch
+      & info [ "epoch" ] ~docv:"CYCLES"
+          ~doc:
+            "Sync-epoch length of the parallel coordinator, in virtual \
+             cycles.  Part of the simulated semantics (dispatch is \
+             quantized to epoch boundaries), not just a tuning knob.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Also print front-end statistics: per-shard active epoch counts, \
+             busy fractions, and the steal-free load imbalance.")
+  in
   Cmd.v
     (Cmd.info "farm"
        ~doc:
@@ -1009,8 +1053,9 @@ let cmd_farm =
           from a seed, and report throughput and latency quantiles.")
     Term.(
       const run $ shards $ page_arg $ tenants $ requests $ load $ queue_bound
-      $ max_resident $ seed_arg $ policy_arg $ reconfig_cost_arg $ fuzz
-      $ trace_out $ format_arg $ show_log $ domains_arg)
+      $ max_resident $ seed_arg $ farm_policy_arg $ reconfig_cost_arg
+      $ epoch_arg $ stats $ fuzz $ trace_out $ format_arg $ show_log
+      $ domains_arg)
 
 (* ----- fig8 / fig9 ----- *)
 

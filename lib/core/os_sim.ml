@@ -70,6 +70,7 @@ module Engine = struct
     mutable total_ops : float;
     mutable queue : (float, int * int) Cgra_util.Pqueue.t;
     mutable unfinished : int;
+    mutable horizon : float;  (* latest stepped-event or submit time *)
     mutable on_finish : int -> float -> unit;
     mutable on_grant : int -> float -> unit;
   }
@@ -125,6 +126,7 @@ module Engine = struct
       total_ops = 0.0;
       queue = Cgra_util.Pqueue.empty ~cmp:Float.compare;
       unfinished = 0;
+      horizon = neg_infinity;
       on_finish = (fun _ _ -> ());
       on_grant = (fun _ _ -> ());
     }
@@ -371,6 +373,18 @@ module Engine = struct
   let submit e ~at (spec : Thread_model.t) =
     if Hashtbl.mem e.by_id spec.id then
       invalid_arg "Os_sim.Engine.submit: duplicate thread id";
+    (* Enforce the monotonic-submission contract instead of silently
+       producing a run that never happened: an arrival below the horizon
+       (something already stepped or submitted later than [at]), or with
+       an earlier internal event still queued, is rejected. *)
+    if at < e.horizon then
+      invalid_arg "Os_sim.Engine.submit: out-of-order arrival (before horizon)";
+    (match Cgra_util.Pqueue.peek e.queue with
+    | Some (te, _) when te < at ->
+        invalid_arg
+          "Os_sim.Engine.submit: out-of-order arrival (earlier event pending)"
+    | Some _ | None -> ());
+    e.horizon <- at;
     let t = { id = spec.id; state = Done at; gen = 0 } in
     Queue.add t e.threads;
     Hashtbl.replace e.by_id t.id t;
@@ -390,6 +404,7 @@ module Engine = struct
     | None -> false
     | Some ((now, (tid, gen)), rest) ->
         e.queue <- rest;
+        e.horizon <- Float.max e.horizon now;
         let t = Hashtbl.find e.by_id tid in
         if gen = t.gen then begin
           match t.state with

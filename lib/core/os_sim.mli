@@ -47,7 +47,10 @@ module Engine : sig
 
       Time must be driven monotonically: a {!submit} at time [at] is only
       valid when every queued internal event at a strictly earlier time
-      has already been stepped (use {!next_event}/{!run_until}). *)
+      has already been stepped (use {!next_event}/{!run_until}).  The
+      contract is enforced: an out-of-order submit raises rather than
+      silently simulating a run that never happened — the epoch-stepped
+      farm coordinator leans on this to catch boundary bugs. *)
 
   type t
 
@@ -67,8 +70,10 @@ module Engine : sig
   val submit : t -> at:float -> Thread_model.t -> unit
   (** Admit a thread at time [at]: emits its [Thread_arrival] and starts
       its first segment immediately (so a kernel-first thread requests
-      pages at [at]).  Raises [Invalid_argument] on duplicate ids or
-      unknown kernels. *)
+      pages at [at]).  Raises [Invalid_argument] on duplicate ids,
+      unknown kernels, or an out-of-order arrival — [at] earlier than an
+      already stepped event, an earlier pending internal event, or a
+      previous submit. *)
 
   val next_event : t -> float option
   (** Time of the earliest pending internal event, or [None] when idle.

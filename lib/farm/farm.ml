@@ -8,6 +8,8 @@ let default_fleet =
   [ { size = 4; page_pes = 4 }; { size = 6; page_pes = 4 };
     { size = 8; page_pes = 4 } ]
 
+type dispatch = Least_loaded | Cost_aware
+
 type params = {
   fleet : shard_spec list;
   n_tenants : int;
@@ -18,6 +20,8 @@ type params = {
   seed : int;
   policy : Allocator.policy;
   reconfig_cost : float;
+  dispatch : dispatch;
+  epoch : float;
 }
 
 let default_params =
@@ -31,7 +35,21 @@ let default_params =
     seed = 0;
     policy = Allocator.Cost_halving;
     reconfig_cost = 0.0;
+    dispatch = Least_loaded;
+    epoch = 64.0;
   }
+
+(* The at-scale configuration (ROADMAP: tens of shards, 10^4+ requests).
+   Eight of each fabric size keeps the compile cost at three unique
+   architectures while giving the coordinator 24 engines to settle per
+   epoch — the shape the parallel settle phase is built for. *)
+let big_fleet =
+  List.concat_map
+    (fun size -> List.init 8 (fun _ -> { size; page_pes = 4 }))
+    [ 4; 6; 8 ]
+
+let big_params =
+  { default_params with fleet = big_fleet; n_tenants = 8; n_requests = 10_000 }
 
 (* The request mix: the video-serving story the paper's introduction
    motivates — motion compensation, colour conversion, deinterlacing. *)
@@ -60,6 +78,7 @@ type shard_report = {
   s_pages : int;
   s_served : int;
   s_busy_cycles : float;  (* sum of (retired - dispatched) over its requests *)
+  s_epochs : int;  (* epochs in which the shard stepped at least one event *)
   s_os : Os_sim.result_t;
 }
 
@@ -69,6 +88,7 @@ type report = {
   retired : int;
   rejected : int;
   makespan : float;
+  epochs : int;  (* coordinator sync boundaries processed *)
   throughput : float;  (* retired requests per 1000 cycles *)
   latency : Hist.summary;  (* arrival -> retire, cycles *)
   queue_wait : Hist.summary;  (* arrival -> dispatch, cycles *)
@@ -79,13 +99,21 @@ type report = {
   shard_events : T.event list list;
 }
 
+(* Engine callbacks fire while a shard is being stepped — possibly on a
+   worker domain — so they only append to the shard's private buffer;
+   the coordinator drains every buffer at the next sync boundary. *)
+type cb = Cb_grant of int * float | Cb_finish of int * float
+
 type shard = {
   index : int;
   spec : shard_spec;
   total_pages : int;
   suite : Binary.t list;
+  pages_by_kernel : (string * int) list;
   engine : Os_sim.Engine.t;
   strace : T.t;
+  cbs : cb Queue.t;
+  mutable active_epochs : int;
   mutable served : int;
   mutable busy_cycles : float;
 }
@@ -100,6 +128,8 @@ let validate p =
   else if p.queue_bound < 1 then Error "farm: queue bound must be >= 1"
   else if p.max_resident < 1 then Error "farm: max resident must be >= 1"
   else if p.reconfig_cost < 0.0 then Error "farm: negative reconfig cost"
+  else if not (p.epoch > 0.0 && Float.is_finite p.epoch) then
+    Error "farm: epoch must be a positive number of cycles"
   else Ok ()
 
 (* Nominal per-shard service rate: the mean full-allocation service time
@@ -145,7 +175,13 @@ let run ?pool ?(traced = false) p =
               in
               build (i + 1)
                 ({ index = i; spec; total_pages = Cgra_arch.Cgra.n_pages arch;
-                   suite; engine; strace; served = 0; busy_cycles = 0.0 }
+                   suite;
+                   pages_by_kernel =
+                     List.map
+                       (fun (b : Binary.t) -> (b.name, Binary.pages_used b))
+                       suite;
+                   engine; strace; cbs = Queue.create (); active_epochs = 0;
+                   served = 0; busy_cycles = 0.0 }
                 :: acc)
                 rest)
     in
@@ -186,20 +222,9 @@ let run ?pool ?(traced = false) p =
   List.iter
     (fun s ->
       Os_sim.Engine.set_on_grant s.engine (fun rid time ->
-          let r = requests.(rid) in
-          if Float.is_nan r.resident_at then begin
-            r.resident_at <- time;
-            T.emit_at ftrace ~time
-              (T.Farm_resident { req = rid; shard = s.index })
-          end))
-    shards;
-  (* finish notifications are recorded here and acted on after the engine
-     step returns (the callbacks must not re-enter an engine) *)
-  let finished : (int * float) Queue.t = Queue.create () in
-  List.iter
-    (fun s ->
+          Queue.add (Cb_grant (rid, time)) s.cbs);
       Os_sim.Engine.set_on_finish s.engine (fun rid time ->
-          Queue.add (rid, time) finished))
+          Queue.add (Cb_finish (rid, time)) s.cbs))
     shards;
   let queues = Array.init p.n_tenants (fun _ -> Queue.create ()) in
   let latency_h = Hist.create () in
@@ -207,22 +232,78 @@ let run ?pool ?(traced = false) p =
   let retired = ref 0 in
   let rejected = ref 0 in
   let rev_log = ref [] in
-  (* load-aware shard pick: fewest in-flight requests, then least
-     allocated fabric, then lowest index — all deterministic signals *)
-  let pick_shard () =
-    List.fold_left
-      (fun best s ->
-        if Os_sim.Engine.in_flight s.engine >= p.max_resident then best
-        else
-          let key s =
-            ( Os_sim.Engine.in_flight s.engine,
-              Os_sim.Engine.used_page_fraction s.engine,
-              s.index )
-          in
-          match best with
-          | Some b when key b <= key s -> best
-          | Some _ | None -> Some s)
-      None shards
+  let n_epochs = ref 0 in
+  let process_grant shard_idx rid time =
+    let r = requests.(rid) in
+    if Float.is_nan r.resident_at then begin
+      r.resident_at <- time;
+      T.emit_at ftrace ~time (T.Farm_resident { req = rid; shard = shard_idx })
+    end
+  in
+  let process_finish rid time =
+    let r = requests.(rid) in
+    let s = shard_arr.(r.shard) in
+    r.retired_at <- time;
+    r.terminal <- Some Retired;
+    s.served <- s.served + 1;
+    s.busy_cycles <- s.busy_cycles +. (time -. r.dispatched);
+    incr retired;
+    rev_log := (rid, r.tenant, r.shard, time) :: !rev_log;
+    Hist.observe latency_h (time -. r.arrival);
+    Hist.observe queue_wait_h (r.dispatched -. r.arrival);
+    T.emit_at ftrace ~time
+      (T.Farm_retire
+         { req = rid; tenant = r.tenant; shard = r.shard;
+           latency = time -. r.arrival })
+  in
+  let process_cb shard_idx = function
+    | Cb_grant (rid, time) -> process_grant shard_idx rid time
+    | Cb_finish (rid, time) -> process_finish rid time
+  in
+  let drain_cbs s = Queue.iter (process_cb s.index) s.cbs; Queue.clear s.cbs in
+  (* load-aware shard candidates: fewest in-flight requests, then least
+     allocated fabric, then lowest index — all deterministic signals,
+     all read at a sync boundary where every shard is settled *)
+  let candidates () =
+    List.filter
+      (fun s -> Os_sim.Engine.in_flight s.engine < p.max_resident)
+      shards
+    |> List.sort (fun a b ->
+           compare
+             ( Os_sim.Engine.in_flight a.engine,
+               Os_sim.Engine.used_page_fraction a.engine,
+               a.index )
+             ( Os_sim.Engine.in_flight b.engine,
+               Os_sim.Engine.used_page_fraction b.engine,
+               b.index ))
+  in
+  (* Cost-aware deferral: dispatching a request whose binary does not fit
+     in the shard's free pages forces the allocator to shrink residents —
+     each squeezed page is a PageMaster reshape priced at
+     [reconfig_cost].  When that price exceeds the time until the shard
+     next wakes up (its events are finishes and regrants, i.e. chances
+     for pages to free up), queueing is the cheaper move and the grant is
+     deferred to a later boundary.  At [reconfig_cost = 0] the estimate
+     is always 0, so the policy degenerates to [Least_loaded] exactly. *)
+  let affordable s (r : request) now =
+    match p.dispatch with
+    | Least_loaded -> true
+    | Cost_aware -> (
+        match List.assoc_opt r.kernel s.pages_by_kernel with
+        | None -> true
+        | Some need ->
+            let free = Os_sim.Engine.free_pages s.engine in
+            if free >= need then true
+            else
+              let reshape =
+                p.reconfig_cost *. float_of_int (need - free)
+              in
+              let wake =
+                match Os_sim.Engine.next_event s.engine with
+                | Some t -> t -. now
+                | None -> 0.0
+              in
+              reshape <= wake)
   in
   let dispatch r (s : shard) now =
     r.shard <- s.index;
@@ -234,24 +315,34 @@ let run ?pool ?(traced = false) p =
         Thread_model.id = r.rid;
         segments =
           [ Thread_model.Kernel { kernel = r.kernel; iterations = r.iterations } ];
-      }
+      };
+    (* a submit can grant pages synchronously: surface the residency now,
+       in admission order, rather than at the next boundary *)
+    drain_cbs s
   in
   (* drain tenant queues (tenant order, FIFO within a tenant) while some
-     shard has admission capacity *)
+     shard has admission capacity; a tenant whose head request is
+     deferred by the cost model is skipped, not popped, so per-tenant
+     FIFO order is preserved *)
   let rec try_dispatch now =
     let rec scan tid =
       if tid >= p.n_tenants then false
       else if Queue.is_empty queues.(tid) then scan (tid + 1)
       else
-        match pick_shard () with
-        | None -> false (* capacity is fleet-wide: nobody can dispatch *)
-        | Some s ->
-            dispatch (Queue.take queues.(tid)) s now;
-            true
+        match candidates () with
+        | [] -> false (* capacity is fleet-wide: nobody can dispatch *)
+        | cands -> (
+            let r = Queue.peek queues.(tid) in
+            match List.find_opt (fun s -> affordable s r now) cands with
+            | None -> scan (tid + 1)
+            | Some s ->
+                ignore (Queue.take queues.(tid));
+                dispatch r s now;
+                true)
     in
     if scan 0 then try_dispatch now
   in
-  let admit r =
+  let admit (r : request) =
     T.emit_at ftrace ~time:r.arrival
       (T.Farm_request
          { req = r.rid; tenant = r.tenant; kernel = r.kernel;
@@ -264,72 +355,103 @@ let run ?pool ?(traced = false) p =
         (T.Farm_reject
            { req = r.rid; tenant = r.tenant; queue_depth = Queue.length q })
     end
-    else begin
-      Queue.add r q;
-      try_dispatch r.arrival
-    end
+    else Queue.add r q
   in
-  let drain_finished () =
-    while not (Queue.is_empty finished) do
-      let rid, time = Queue.take finished in
-      let r = requests.(rid) in
-      let s = shard_arr.(r.shard) in
-      r.retired_at <- time;
-      r.terminal <- Some Retired;
-      s.served <- s.served + 1;
-      s.busy_cycles <- s.busy_cycles +. (time -. r.dispatched);
-      incr retired;
-      rev_log := (rid, r.tenant, r.shard, time) :: !rev_log;
-      Hist.observe latency_h (time -. r.arrival);
-      Hist.observe queue_wait_h (r.dispatched -. r.arrival);
-      T.emit_at ftrace ~time
-        (T.Farm_retire
-           { req = rid; tenant = r.tenant; shard = r.shard;
-             latency = time -. r.arrival });
-      try_dispatch time
-    done
-  in
-  (* the global event loop: one event at a time, earliest first; a shard
-     event wins a tie with an arrival, the lowest shard index wins a tie
-     between shards (strict [<] over the fold) — total order, so the run
-     is deterministic at any pool width (the pool only compiles) *)
-  let next_shard_event () =
-    List.fold_left
-      (fun best s ->
-        match (Os_sim.Engine.next_event s.engine, best) with
-        | None, b -> b
-        | Some t, None -> Some (t, s)
-        | Some t, Some (bt, _) -> if t < bt then Some (t, s) else best)
-      None shards
-  in
+  (* The epoch-stepped coordinator.  Per epoch (t, t']:
+       1. settle — every shard runs its own events up to t', in parallel
+          across the pool (shards are share-nothing between boundaries;
+          callbacks buffer into per-shard logs);
+       2. merge — buffered grants/finishes and the window's arrivals are
+          replayed on the coordinator in one total order: (event time,
+          shard events before arrivals, shard index, buffer order);
+       3. dispatch — admission control runs at the boundary, submitting
+          new work at exactly t' (the settled engines' horizon).
+     Every decision reads settled, boundary-time state, so the run is a
+     pure function of the seed and the epoch length — byte-identical at
+     any pool width.  t' stretches beyond t + epoch when nothing (no
+     event, no arrival) lands earlier, so idle stretches cost one epoch,
+     and an arrival into an idle fleet is dispatched at its exact
+     arrival time. *)
   let ai = ref 0 in
-  let step_shard s =
-    ignore (Os_sim.Engine.step s.engine);
-    drain_finished ()
+  let settle t' =
+    let one s =
+      (match Os_sim.Engine.next_event s.engine with
+      | Some te when te <= t' -> s.active_epochs <- s.active_epochs + 1
+      | Some _ | None -> ());
+      Os_sim.Engine.run_until s.engine t'
+    in
+    match pool with
+    | Some pool -> ignore (Cgra_util.Pool.map pool one shards)
+    | None -> List.iter one shards
   in
-  let take_arrival () =
-    let r = requests.(!ai) in
-    incr ai;
-    admit r;
-    drain_finished ()
+  let boundary t' =
+    incr n_epochs;
+    (* one totally ordered replay of the window: stable sort keeps each
+       shard's buffer order and the arrival order within equal keys *)
+    let items =
+      List.concat_map
+        (fun s ->
+          let l =
+            Queue.fold
+              (fun acc c ->
+                let time =
+                  match c with Cb_grant (_, t) | Cb_finish (_, t) -> t
+                in
+                (time, 0, s.index, `Cb c) :: acc)
+              [] s.cbs
+          in
+          Queue.clear s.cbs;
+          List.rev l)
+        shards
+    in
+    let arrivals = ref [] in
+    while
+      !ai < Array.length requests && requests.(!ai).arrival <= t'
+    do
+      arrivals := (requests.(!ai).arrival, 1, 0, `Arrival requests.(!ai)) :: !arrivals;
+      incr ai
+    done;
+    let merged =
+      List.stable_sort
+        (fun (t1, k1, s1, _) (t2, k2, s2, _) -> compare (t1, k1, s1) (t2, k2, s2))
+        (items @ List.rev !arrivals)
+    in
+    List.iter
+      (fun (_, _, shard_idx, item) ->
+        match item with
+        | `Cb c -> process_cb shard_idx c
+        | `Arrival r -> admit r)
+      merged;
+    try_dispatch t'
   in
-  let rec loop () =
-    let next_arrival =
+  let next_candidate () =
+    let ev =
+      List.fold_left
+        (fun acc s ->
+          match (Os_sim.Engine.next_event s.engine, acc) with
+          | None, a -> a
+          | Some t, None -> Some t
+          | Some t, Some a -> Some (Float.min t a))
+        None shards
+    in
+    let ar =
       if !ai < Array.length requests then Some requests.(!ai).arrival else None
     in
-    match (next_shard_event (), next_arrival) with
-    | None, None -> ()
-    | Some (_, s), None ->
-        step_shard s;
-        loop ()
-    | None, Some _ ->
-        take_arrival ();
-        loop ()
-    | Some (t, s), Some ta ->
-        if t <= ta then step_shard s else take_arrival ();
-        loop ()
+    match (ev, ar) with
+    | None, None -> None
+    | (Some _ as x), None | None, (Some _ as x) -> x
+    | Some x, Some y -> Some (Float.min x y)
   in
-  loop ();
+  let rec loop t =
+    match next_candidate () with
+    | None -> ()
+    | Some c ->
+        let t' = Float.max (t +. p.epoch) c in
+        settle t';
+        boundary t';
+        loop t'
+  in
+  loop 0.0;
   let makespan =
     Array.fold_left
       (fun acc r ->
@@ -348,6 +470,7 @@ let run ?pool ?(traced = false) p =
           s_pages = s.total_pages;
           s_served = s.served;
           s_busy_cycles = s.busy_cycles;
+          s_epochs = s.active_epochs;
           s_os = Os_sim.Engine.result s.engine;
         })
       shards
@@ -359,6 +482,7 @@ let run ?pool ?(traced = false) p =
       retired = !retired;
       rejected = !rejected;
       makespan;
+      epochs = !n_epochs;
       throughput =
         (if makespan > 0.0 then float_of_int !retired /. makespan *. 1000.0
          else 0.0);
@@ -371,6 +495,10 @@ let run ?pool ?(traced = false) p =
       shard_events = List.map (fun s -> T.events s.strace) shards;
     }
 
+let dispatch_name = function
+  | Least_loaded -> "least-loaded"
+  | Cost_aware -> "cost-aware"
+
 let render ?(log = false) (r : report) =
   let b = Buffer.create 1024 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -380,14 +508,17 @@ let render ?(log = false) (r : report) =
     (String.concat ", "
        (List.map (fun s -> Printf.sprintf "%dx%d" s.size s.size) p.fleet))
     p.n_tenants p.n_requests p.offered_load p.seed;
-  pf "  policy %s, reconfig cost %.0f, queue bound %d, max resident %d\n"
+  pf
+    "  policy %s, dispatch %s, reconfig cost %.0f, queue bound %d, max \
+     resident %d, epoch %.0f\n"
     (match p.policy with
     | Allocator.Halving -> "halving"
     | Allocator.Repack_equal -> "repack"
     | Allocator.Cost_halving -> "cost")
-    p.reconfig_cost p.queue_bound p.max_resident;
-  pf "  retired %d, rejected %d, makespan %.0f cycles\n" r.retired r.rejected
-    r.makespan;
+    (dispatch_name p.dispatch) p.reconfig_cost p.queue_bound p.max_resident
+    p.epoch;
+  pf "  retired %d, rejected %d, makespan %.0f cycles, %d epochs\n" r.retired
+    r.rejected r.makespan r.epochs;
   pf "  throughput %.3f req/kcycle\n" r.throughput;
   pf "  latency    p50 %.0f  p90 %.0f  p99 %.0f  max %.0f cycles\n"
     r.latency.Hist.p50 r.latency.Hist.p90 r.latency.Hist.p99 r.latency.Hist.max;
@@ -407,4 +538,33 @@ let render ?(log = false) (r : report) =
         pf "  r%-4d tenant %d shard %d at %.0f\n" rid tenant shard time)
       r.log
   end;
+  Buffer.contents b
+
+(* The front-end observability report: where coordinator epochs landed,
+   how busy each shard was, and how uneven the (steal-free) load ended
+   up — dispatch is final, work never migrates, so max/mean busy is the
+   true imbalance, not a sampling artifact. *)
+let render_stats (r : report) =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "epochs: %d boundaries (epoch %.0f cycles, makespan %.0f)\n" r.epochs
+    r.params.epoch r.makespan;
+  let busy = List.map (fun s -> s.s_busy_cycles) r.shard_reports in
+  let total_busy = List.fold_left ( +. ) 0.0 busy in
+  let mean_busy = total_busy /. float_of_int (List.length busy) in
+  let max_busy = List.fold_left Float.max 0.0 busy in
+  List.iter
+    (fun s ->
+      pf
+        "  shard %-2d (%dx%d): active epochs %-5d (%.3f of %d)  busy %8.0f \
+         cycles  busy frac %.3f  served %d\n"
+        s.s_index s.s_spec.size s.s_spec.size s.s_epochs
+        (if r.epochs > 0 then float_of_int s.s_epochs /. float_of_int r.epochs
+         else 0.0)
+        r.epochs s.s_busy_cycles
+        (if r.makespan > 0.0 then s.s_busy_cycles /. r.makespan else 0.0)
+        s.s_served)
+    r.shard_reports;
+  pf "  load imbalance (max/mean busy, steal-free): %.3f\n"
+    (if mean_busy > 0.0 then max_busy /. mean_busy else 1.0);
   Buffer.contents b

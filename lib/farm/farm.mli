@@ -8,20 +8,37 @@
     front end is an open-loop arrival process with per-tenant FIFO
     queues and admission control.
 
+    {b The epoch-stepped coordinator.}  The run is quantized into sync
+    epochs of [epoch] virtual cycles.  Per epoch [(t, t']]: every shard
+    first settles its own internal events up to [t'] — shards are
+    share-nothing between boundaries, so this phase fans out across the
+    [pool] worker domains, with grant/finish callbacks buffering into
+    per-shard logs; the coordinator then replays the window in one total
+    order (event time, shard events before arrivals, shard index, buffer
+    order), does admission, and dispatches queued requests at exactly
+    [t'].  A boundary stretches beyond [t + epoch] when nothing lands
+    earlier, so idle stretches cost one epoch and an arrival into an
+    idle fleet is dispatched at its exact arrival time.
+
     Determinism is the contract.  Everything runs on the virtual clock —
     no wall time anywhere in the simulated path — and all randomness
-    flows from the seeded {!Cgra_util.Rng}, so one seed fixes the whole
-    run: arrivals, admissions, dispatches, retirement log, quantiles.  A
-    [pool] only parallelizes suite compilation (itself bit-deterministic
-    at any width), so results are byte-identical at any [-j].
+    flows from the seeded {!Cgra_util.Rng}, so one seed (plus the epoch
+    length, which is part of {!params}) fixes the whole run: arrivals,
+    admissions, dispatches, retirement log, quantiles.  Every
+    coordinator decision reads settled boundary-time state and the
+    merged replay order is a total order, so results are byte-identical
+    at any [-j] — the pool width changes the wall clock, never a byte
+    of the report, the traces, or the {!Cgra_prof.Metrics.Hist}
+    quantiles.
 
-    The event loop totally orders work: the earliest pending event wins;
-    a shard event beats an arrival at the same instant; the lowest shard
-    index beats other shards.  Admission bounds each tenant's queue at
-    [queue_bound] (excess requests are rejected at arrival, never
-    dropped later) and each shard's in-flight population at
-    [max_resident]; dispatch picks the shard with the fewest in-flight
-    requests, then the least-allocated fabric, then the lowest index. *)
+    Admission bounds each tenant's queue at [queue_bound] (excess
+    requests are rejected at arrival, never dropped later) and each
+    shard's in-flight population at [max_resident]; dispatch picks the
+    shard with the fewest in-flight requests, then the least-allocated
+    fabric, then the lowest index.  The {!Cost_aware} dispatch policy
+    additionally prices the reshape cycles a non-fitting request would
+    inflict on residents against the shard's next wake-up and defers
+    the grant when queueing is cheaper. *)
 
 module T := Cgra_trace.Trace
 module Hist := Cgra_prof.Metrics.Hist
@@ -31,6 +48,16 @@ type shard_spec = { size : int; page_pes : int }
 val default_fleet : shard_spec list
 (** The mixed fleet of the committed benchmark: 4x4, 6x6, 8x8, all with
     4-PE pages. *)
+
+type dispatch =
+  | Least_loaded
+      (** fewest in-flight, least-allocated, lowest index — always
+          dispatch when some shard has capacity *)
+  | Cost_aware
+      (** same order, but defer a request whose missing pages would cost
+          more reshape cycles (priced at [reconfig_cost] each) than
+          waiting for the shard's next event; identical to
+          [Least_loaded] when [reconfig_cost = 0] *)
 
 type params = {
   fleet : shard_spec list;
@@ -46,11 +73,25 @@ type params = {
   seed : int;
   policy : Cgra_core.Allocator.policy;
   reconfig_cost : float;
+  dispatch : dispatch;
+  epoch : float;
+      (** sync-epoch length in virtual cycles; smaller epochs track
+          arrivals more tightly, larger epochs give the parallel settle
+          phase more work per barrier *)
 }
 
 val default_params : params
 (** The committed-benchmark configuration: the default fleet, 4 tenants,
-    200 requests, load 1.0, bound 8, resident 8, seed 0, [Cost_halving]. *)
+    200 requests, load 1.0, bound 8, resident 8, seed 0, [Cost_halving],
+    [Least_loaded] dispatch, 64-cycle epochs. *)
+
+val big_fleet : shard_spec list
+(** The at-scale fleet: eight shards each of 4x4, 6x6 and 8x8 (24
+    shards, three unique architectures to compile). *)
+
+val big_params : params
+(** [default_params] on {!big_fleet} with 8 tenants and 10,000 requests
+    — the [BENCH_farm_big.json] / [make farm-big] configuration. *)
 
 val mix : string array
 (** The request kernel mix (mpeg, yuv2rgb, sobel — the video-serving
@@ -87,6 +128,9 @@ type shard_report = {
           summed per-thread stall-attribution totals
           {!Cgra_prof.Analyze.profile} reconstructs from the shard's
           trace *)
+  s_epochs : int;
+      (** sync epochs in which this shard had at least one internal
+          event to step — its share of the front end's settle work *)
   s_os : Cgra_core.Os_sim.result_t;
 }
 
@@ -96,6 +140,7 @@ type report = {
   retired : int;
   rejected : int;
   makespan : float;
+  epochs : int;  (** coordinator sync boundaries processed *)
   throughput : float;  (** retired requests per 1000 cycles *)
   latency : Hist.summary;  (** arrival -> retire, cycles *)
   queue_wait : Hist.summary;  (** arrival -> dispatch, cycles *)
@@ -114,10 +159,21 @@ val run :
   ?traced:bool ->
   params ->
   (report, string) result
-(** Simulate the farm.  [traced] (default false) collects the front
-    end's [farm_*] stream and one OS stream per shard; tracing never
-    changes the simulation.  Errors are validation or compile failures. *)
+(** Simulate the farm.  The [pool] parallelizes suite compilation and
+    the per-epoch shard settle phase; both are bit-deterministic at any
+    width.  [traced] (default false) collects the front end's [farm_*]
+    stream and one OS stream per shard; tracing never changes the
+    simulation.  Errors are validation or compile failures. *)
+
+val dispatch_name : dispatch -> string
+(** ["least-loaded"] / ["cost-aware"] — the rendering and CLI spelling. *)
 
 val render : ?log:bool -> report -> string
 (** Deterministic text report (fixed-precision floats); [log] appends
     the retirement log — the byte-compare surface of the @smoke rule. *)
+
+val render_stats : report -> string
+(** Front-end observability ([cgra_tool farm --stats]): per-shard active
+    epoch counts, busy fractions, and the steal-free load imbalance
+    (max/mean busy cycles — dispatch is final and work never migrates,
+    so the ratio is the true imbalance). *)

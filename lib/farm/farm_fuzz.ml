@@ -201,6 +201,10 @@ let params_of_seed seed =
       [| Allocator.Halving; Allocator.Cost_halving; Allocator.Repack_equal |]
   in
   let reconfig_cost = float_of_int (Cgra_util.Rng.choose rng [| 0; 10; 50 |]) in
+  let dispatch =
+    Cgra_util.Rng.choose rng [| Farm.Least_loaded; Farm.Cost_aware |]
+  in
+  let epoch = Cgra_util.Rng.choose rng [| 16.0; 64.0; 256.0 |] in
   {
     Farm.fleet;
     n_tenants;
@@ -211,6 +215,8 @@ let params_of_seed seed =
     seed;
     policy;
     reconfig_cost;
+    dispatch;
+    epoch;
   }
 
 let check_case seed =

@@ -11,6 +11,17 @@ let earliest_free ~ii ~free pe ~lower ~deadline =
 
 let find ~grid ~ii ~free ~allowed ~read_adjacent ?goal_adjacent ?neighbors
     ?hop_cost ~(src : Mapping.placement) ~dst_pe ~deadline ~max_hops () =
+  (* Infeasibility prechecks: each hop is one mesh move and one cycle,
+     and the final hop must sit on or next to [dst_pe], so a chain needs
+     at least [max 1 (manhattan - 1)] hops and as many cycles before the
+     [deadline] read.  The scheduler probes many (PE, time) candidates
+     whose edges cannot route; rejecting those without expanding the
+     best-first frontier is cheaper than the exhausted search. *)
+  let d =
+    abs (src.Mapping.pe.Coord.row - dst_pe.Coord.row)
+    + abs (src.Mapping.pe.Coord.col - dst_pe.Coord.col)
+  in
+  let need = max 1 (d - 1) in
   let goal_adjacent = Option.value ~default:read_adjacent goal_adjacent in
   let neighbors =
     match neighbors with
@@ -19,6 +30,28 @@ let find ~grid ~ii ~free ~allowed ~read_adjacent ?goal_adjacent ?neighbors
   in
   if goal_adjacent src.Mapping.pe dst_pe && deadline >= src.Mapping.time + 1 then
     Some []
+  else if
+    need > max_hops
+    || deadline < src.Mapping.time + need + 1
+    ||
+    (* The final hop must be an [allowed], goal-adjacent PE with a free
+       slot late enough to be reached (one cycle per unit of distance
+       from [src], at least one hop) and early enough to be read by
+       [deadline]. *)
+    not
+      (List.exists
+         (fun pe ->
+           allowed pe
+           && goal_adjacent pe dst_pe
+           &&
+           let dist_src =
+             abs (src.Mapping.pe.Coord.row - pe.Coord.row)
+             + abs (src.Mapping.pe.Coord.col - pe.Coord.col)
+           in
+           let lower = src.Mapping.time + max 1 dist_src in
+           earliest_free ~ii ~free pe ~lower ~deadline:(deadline - 1) <> None)
+         (neighbors dst_pe))
+  then None
   else begin
     (* Best-first over (hops, accumulated hop cost, arrival time);
        parents recorded for path reconstruction.  The visited map is

@@ -65,24 +65,44 @@ let contains sub name =
   let rec go i = i + m <= n && (String.sub name i m = sub || go (i + 1)) in
   m = 0 || go 0
 
-(* Farm rows are virtual-clock simulation outputs: deterministic down
-   to float formatting, so the budget is a flat epsilon either way. *)
-let deterministic name = has_prefix "farm" name
+(* Farm sim-rate rows time the coordinator's wall clock (requests per
+   wall-second), so despite the "farm" prefix they are measurements,
+   not deterministic outputs.  The speedup row among them is gated
+   against a machine-aware floor, not against its baseline. *)
+let sim_rate name = contains "sim-rate" name
+
+let speedup name = sim_rate name && contains "speedup" name
+
+(* All other farm rows are virtual-clock simulation outputs:
+   deterministic down to float formatting, so the budget is a flat
+   epsilon either way. *)
+let deterministic name = has_prefix "farm" name && not (sim_rate name)
 
 (* Fig. 8 geomean rows are deterministic quality scores (percent,
    higher is better), not wall measurements; farm throughput rows
-   (req/kcycle) likewise gate upward.  Both use a flat epsilon for
-   float formatting, not a jitter factor. *)
+   (req/kcycle) likewise gate upward, with a flat epsilon for float
+   formatting.  Sim-rate rows also gate upward — a slower front end is
+   the regression — but as wall measurements, with a jitter ratio. *)
 let higher_is_better name =
-  has_prefix "fig8" name || (deterministic name && contains "req/" name)
+  has_prefix "fig8" name || sim_rate name
+  || (deterministic name && contains "req/" name)
 
 let epsilon name = if deterministic name then 0.001 else 0.05
+
+(* The -j4/-j1 speedup floor cannot be a constant: a CI box with fewer
+   than four cores clamps the pool to what it has, and demanding 2x
+   there would gate on hardware, not code.  The row records the
+   effective pool width; a machine that really ran four domains owes
+   the 2x scaling contract, anything narrower just must not have made
+   the parallel path slower than sequential. *)
+let speedup_floor ~domains = if domains >= 4 then 2.0 else 0.85
 
 (* Per-row slowdown budgets.  Everything here is a shared-machine wall
    measurement, so the budgets are about catching algorithmic
    regressions (2x-10x), not scheduling noise. *)
 let tolerance name =
-  if higher_is_better name || deterministic name then 1.0
+  if sim_rate name then 2.0
+  else if higher_is_better name || deterministic name then 1.0
   else if has_prefix "compile-sobel-warm" name || has_prefix "compile-suite-warm" name
   then 4.0 (* microsecond-scale disk reads: highest relative jitter *)
   else 2.0
@@ -103,13 +123,22 @@ let check ~baseline ~current =
       | None -> { o_name = b.name; baseline = b.value; current = None; tol;
                   ok = false }
       | Some c ->
-          let ok =
-            if higher_is_better b.name then c.value >= b.value -. epsilon b.name
-            else if deterministic b.name then c.value <= b.value +. epsilon b.name
-            else c.value <= b.value *. tol
-          in
-          { o_name = b.name; baseline = b.value; current = Some c.value; tol;
-            ok })
+          if speedup b.name then
+            (* absolute machine-aware floor on the fresh measurement *)
+            let floor = speedup_floor ~domains:c.domains in
+            { o_name = b.name; baseline = b.value; current = Some c.value;
+              tol = floor; ok = c.value >= floor }
+          else
+            let ok =
+              if sim_rate b.name then c.value >= b.value /. tol
+              else if higher_is_better b.name then
+                c.value >= b.value -. epsilon b.name
+              else if deterministic b.name then
+                c.value <= b.value +. epsilon b.name
+              else c.value <= b.value *. tol
+            in
+            { o_name = b.name; baseline = b.value; current = Some c.value; tol;
+              ok })
     baseline.rows
 
 let failures outcomes =
@@ -118,7 +147,9 @@ let failures outcomes =
 let render ~unit_ outcomes =
   let fmt v = Table.fmt_float ~decimals:1 v in
   let tol_label o =
-    if higher_is_better o.o_name then ">=base"
+    if speedup o.o_name then Printf.sprintf ">=%.2fx" o.tol
+    else if sim_rate o.o_name then Printf.sprintf ">=base/%.1f" o.tol
+    else if higher_is_better o.o_name then ">=base"
     else if deterministic o.o_name then "<=base"
     else Printf.sprintf "%.1fx" o.tol
   in

@@ -24,24 +24,46 @@ val parse : string -> (doc, string) result
 val tolerance : string -> float
 (** Allowed slowdown factor for the named row.  Warm-start rows measure
     microsecond-scale disk reads and jitter hardest (4.0x); wall-clock
-    sweep and fold rows get the 2.0x default.  A factor, not a margin:
-    [current <= baseline * tolerance] passes.  Meaningless (1.0) for
-    {!higher_is_better} and {!deterministic} rows, which gate on a flat
-    epsilon instead. *)
+    sweep and fold rows get the 2.0x default; {!sim_rate} rows gate the
+    same 2.0x ratio in the upward direction
+    ([current >= baseline / tolerance]).  A factor, not a margin.
+    Meaningless (1.0) for {!higher_is_better} and {!deterministic}
+    rows, which gate on a flat epsilon instead. *)
 
 val deterministic : string -> bool
 (** Rows named with the "farm" prefix are virtual-clock simulation
-    outputs, reproducible down to float formatting.  They gate on a
-    flat 0.001 epsilon (covering the %.3f quantization of the written
-    value) in whichever direction {!higher_is_better} says, never on a
-    jitter factor. *)
+    outputs, reproducible down to float formatting — except the
+    {!sim_rate} rows, which are wall measurements.  Deterministic rows
+    gate on a flat 0.001 epsilon (covering the %.3f quantization of the
+    written value) in whichever direction {!higher_is_better} says,
+    never on a jitter factor. *)
+
+val sim_rate : string -> bool
+(** Farm rows containing "sim-rate" time the front-end coordinator in
+    requests per wall-second: measurements, not simulation outputs, so
+    they gate upward with the 2.0x jitter ratio rather than an
+    epsilon. *)
+
+val speedup : string -> bool
+(** The "sim-rate speedup" row (parallel over sequential rate) is gated
+    against {!speedup_floor} of its own recorded pool width — an
+    absolute floor on the fresh measurement, not a baseline
+    comparison. *)
+
+val speedup_floor : domains:int -> float
+(** The parallel coordinator's scaling contract, machine-aware: a pool
+    that really ran [>= 4] domains owes a 2.0x speedup over sequential;
+    a machine too narrow to widen the pool (the row records the
+    effective width) just must not run the parallel path slower than
+    sequential (0.85). *)
 
 val higher_is_better : string -> bool
 (** Rows named with the "fig8" prefix are deterministic quality scores
     (geomean percent of baseline II, epsilon 0.05), and farm rows
     containing "req/" are throughputs (epsilon 0.001): the gate passes
     when [current >= baseline - epsilon] — any real drop fails, and
-    jitter tolerances do not apply. *)
+    jitter tolerances do not apply.  {!sim_rate} rows are also
+    higher-is-better, but with the ratio tolerance above. *)
 
 type outcome = {
   o_name : string;

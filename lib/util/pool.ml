@@ -46,15 +46,21 @@ let rec worker t =
       f ();
       worker t
 
-let create ?domains () =
+let create ?(clamp = true) ?domains () =
   let requested = max 1 (Option.value ~default:(domains_from_env ()) domains) in
   (* Clamp to the machine: domains beyond the core count cannot add
      throughput, but every active domain joins each minor-GC handshake,
      so oversubscribing cores turns each collection into a wait on
      descheduled peers — a pure slowdown.  Results never depend on the
      width (the determinism contract), so clamping is unobservable apart
-     from the wall clock. *)
-  let w = min requested (Domain.recommended_domain_count ()) in
+     from the wall clock.  [clamp:false] keeps the requested width even
+     beyond the core count: determinism tests use it to force real
+     cross-domain execution on small machines (capped at 64 so a typo
+     cannot spawn thousands of domains). *)
+  let w =
+    if clamp then min requested (Domain.recommended_domain_count ())
+    else min requested 64
+  in
   let t =
     {
       pool_width = w;
@@ -80,8 +86,8 @@ let shutdown t =
     t.helpers <- []
   end
 
-let with_pool ?domains f =
-  let t = create ?domains () in
+let with_pool ?clamp ?domains f =
+  let t = create ?clamp ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Run [body 0 .. body (n-1)] across the pool.  Items are claimed from an

@@ -32,13 +32,16 @@ val domains_from_env : unit -> int
 (** Width requested by the [CGRA_DOMAINS] environment variable; [1] when
     unset, unparsable, or non-positive. *)
 
-val create : ?domains:int -> unit -> t
+val create : ?clamp:bool -> ?domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] helper domains (none when
     [domains <= 1]).  Default width: {!domains_from_env}.  The requested
     width is clamped to [Domain.recommended_domain_count ()]: domains
     beyond the core count add minor-GC handshake stalls without adding
     throughput, and results never depend on the width, so the clamp is
-    unobservable apart from the wall clock. *)
+    unobservable apart from the wall clock.  [clamp:false] keeps the
+    requested width (capped at 64) even past the core count — slower,
+    but it forces genuine cross-domain execution, which is what
+    determinism tests want to exercise on small machines. *)
 
 val width : t -> int
 (** Total domains working a batch, caller included (after clamping). *)
@@ -47,7 +50,7 @@ val shutdown : t -> unit
 (** Stop and join the helper domains.  Idempotent.  Outstanding batches
     must have completed ([map] only returns once its batch has). *)
 
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool : ?clamp:bool -> ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list

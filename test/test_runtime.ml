@@ -595,6 +595,74 @@ let test_page_schedule_pp () =
   let s = Format.asprintf "%a" Page_schedule.pp ps in
   Alcotest.(check bool) "non-empty rendering" true (String.length s > 20)
 
+(* ---------- Engine edges (the farm coordinator's contract) ---------- *)
+
+let kernel_thread ?(iterations = 4) id =
+  {
+    Thread_model.id;
+    segments = [ Thread_model.Kernel { kernel = "mpeg"; iterations } ];
+  }
+
+let fresh_engine () =
+  Os_sim.Engine.create ~suite:(Lazy.force suite_4x4_p4) ~total_pages:4
+    ~mode:Os_sim.Multi ()
+
+let test_engine_rejects_out_of_order_submit () =
+  let e = fresh_engine () in
+  Os_sim.Engine.submit e ~at:100.0 (kernel_thread 1);
+  (* an arrival before the previous submit's horizon must raise *)
+  (try
+     Os_sim.Engine.submit e ~at:50.0 (kernel_thread 2);
+     Alcotest.fail "submit before the horizon did not raise"
+   with Invalid_argument _ -> ());
+  (* ... and so must an arrival beyond a still-pending internal event:
+     the caller has to settle the engine up to [at] first *)
+  (match Os_sim.Engine.next_event e with
+  | None -> Alcotest.fail "submitted kernel thread queued no event"
+  | Some te -> (
+      try
+        Os_sim.Engine.submit e ~at:(te +. 1000.0) (kernel_thread 3);
+        Alcotest.fail "submit past a pending event did not raise"
+      with Invalid_argument _ -> ()));
+  (* the failed submits left the engine usable: thread 1 still drains *)
+  Os_sim.Engine.drain e;
+  Alcotest.(check int) "only the valid thread ran" 1
+    (List.length (Os_sim.Engine.result e).Os_sim.finishes)
+
+let test_engine_drain_empty () =
+  let e = fresh_engine () in
+  (* draining an engine with nothing submitted is a no-op, not an error *)
+  Os_sim.Engine.drain e;
+  Alcotest.(check bool) "still idle" true (Os_sim.Engine.next_event e = None);
+  Alcotest.(check int) "nothing in flight" 0 (Os_sim.Engine.in_flight e);
+  let r = Os_sim.Engine.result e in
+  Alcotest.(check int) "no finishes" 0 (List.length r.Os_sim.finishes);
+  Alcotest.check (Alcotest.float 0.0) "zero makespan" 0.0 r.Os_sim.makespan
+
+let test_engine_run_until_inclusive () =
+  (* [run_until t] steps events at exactly [t] — the epoch-boundary case
+     the parallel farm coordinator depends on: a shard settled to the
+     sync point must have consumed every event landing on it *)
+  let e = fresh_engine () in
+  Os_sim.Engine.submit e ~at:0.0 (kernel_thread 1);
+  match Os_sim.Engine.next_event e with
+  | None -> Alcotest.fail "submitted kernel thread queued no event"
+  | Some te ->
+      Alcotest.(check bool) "first iteration lands after time 0" true (te > 0.0);
+      (* a bound strictly before the event leaves it pending *)
+      Os_sim.Engine.run_until e (te /. 2.0);
+      Alcotest.(check (option (float 0.0))) "strictly-before bound is exclusive"
+        (Some te) (Os_sim.Engine.next_event e);
+      (* a bound exactly at the event consumes it *)
+      Os_sim.Engine.run_until e te;
+      (match Os_sim.Engine.next_event e with
+      | Some te' when te' <= te ->
+          Alcotest.failf "event at the bound survived run_until (next %g <= %g)"
+            te' te
+      | Some _ | None -> ());
+      Os_sim.Engine.drain e;
+      Alcotest.(check int) "thread finished" 0 (Os_sim.Engine.in_flight e)
+
 let () =
   Alcotest.run "runtime"
     [
@@ -651,6 +719,14 @@ let () =
           Alcotest.test_case "reconfig zero default" `Quick
             test_os_reconfig_cost_zero_is_default;
           Alcotest.test_case "repack policy runs" `Quick test_os_repack_policy_runs;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "rejects out-of-order submit" `Quick
+            test_engine_rejects_out_of_order_submit;
+          Alcotest.test_case "drain on empty engine" `Quick test_engine_drain_empty;
+          Alcotest.test_case "run_until inclusive at event time" `Quick
+            test_engine_run_until_inclusive;
         ] );
       ( "metrics",
         [
